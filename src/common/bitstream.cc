@@ -1,0 +1,89 @@
+#include "common/bitstream.h"
+
+namespace csxa {
+
+int BitsFor(uint64_t n) {
+  if (n <= 1) return 0;
+  int bits = 0;
+  uint64_t max = n - 1;
+  while (max > 0) {
+    ++bits;
+    max >>= 1;
+  }
+  return bits;
+}
+
+int BitWidth(uint64_t v) {
+  int bits = 0;
+  while (v > 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits;
+}
+
+void BitWriter::WriteBits(uint64_t value, int width) {
+  for (int i = width - 1; i >= 0; --i) {
+    size_t byte = bit_size_ >> 3;
+    if (byte >= bytes_.size()) bytes_.push_back(0);
+    if ((value >> i) & 1) {
+      bytes_[byte] |= static_cast<uint8_t>(0x80u >> (bit_size_ & 7));
+    }
+    ++bit_size_;
+  }
+}
+
+void BitWriter::AlignToByte() {
+  bit_size_ = (bit_size_ + 7) & ~size_t{7};
+  bytes_.resize((bit_size_ + 7) / 8, 0);
+}
+
+void BitWriter::WriteAlignedBytes(const uint8_t* data, size_t n) {
+  AlignToByte();
+  bytes_.insert(bytes_.end(), data, data + n);
+  bit_size_ += n * 8;
+}
+
+Status BitReader::ReadBits(int width, uint64_t* value) {
+  if (pos_ + static_cast<size_t>(width) > size_bits_) {
+    return Status::OutOfRange("BitReader: read past end of stream");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < width; ++i) {
+    size_t byte = pos_ >> 3;
+    int bit = 7 - static_cast<int>(pos_ & 7);
+    v = (v << 1) | ((data_[byte] >> bit) & 1);
+    ++pos_;
+  }
+  *value = v;
+  return Status::OK();
+}
+
+Status BitReader::ReadBit(bool* bit) {
+  uint64_t v = 0;
+  CSXA_RETURN_NOT_OK(ReadBits(1, &v));
+  *bit = (v != 0);
+  return Status::OK();
+}
+
+Status BitReader::ReadAlignedBytes(size_t n, std::string* out) {
+  pos_ = (pos_ + 7) & ~size_t{7};
+  if (pos_ + n * 8 > size_bits_) {
+    return Status::OutOfRange("BitReader: aligned read past end of stream");
+  }
+  out->assign(reinterpret_cast<const char*>(data_ + (pos_ >> 3)), n);
+  pos_ += n * 8;
+  return Status::OK();
+}
+
+Status BitReader::SeekTo(size_t bit_pos) {
+  if (bit_pos > size_bits_) {
+    return Status::OutOfRange("BitReader: seek past end of stream");
+  }
+  pos_ = bit_pos;
+  return Status::OK();
+}
+
+Status BitReader::SkipBits(size_t bits) { return SeekTo(pos_ + bits); }
+
+}  // namespace csxa

@@ -1,0 +1,93 @@
+#ifndef CSXA_COMMON_BITSTREAM_H_
+#define CSXA_COMMON_BITSTREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace csxa {
+
+/// Number of bits needed to represent values in [0, n-1]; BitsFor(0) and
+/// BitsFor(1) are 0 (a single possible value needs no bits).
+int BitsFor(uint64_t n);
+
+/// Number of bits needed to represent the value v itself (>= 1 for v > 0).
+int BitWidth(uint64_t v);
+
+/// Append-only MSB-first bit writer backed by a byte vector.
+///
+/// The Skip index (Section 4 of the paper) packs per-element metadata with
+/// field widths that shrink recursively; this writer provides the raw
+/// bit-level substrate for that encoding.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Appends the low `width` bits of `value`, most significant bit first.
+  /// width == 0 is a no-op. Requires width <= 64.
+  void WriteBits(uint64_t value, int width);
+
+  /// Appends a single bit.
+  void WriteBit(bool bit) { WriteBits(bit ? 1 : 0, 1); }
+
+  /// Pads with zero bits to the next byte boundary, then appends raw bytes.
+  void WriteAlignedBytes(const uint8_t* data, size_t n);
+
+  /// Pads with zero bits up to the next byte boundary.
+  void AlignToByte();
+
+  /// Current length in bits.
+  size_t bit_size() const { return bit_size_; }
+
+  /// Finished buffer (zero-padded to a whole byte).
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> TakeBytes() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  size_t bit_size_ = 0;
+};
+
+/// MSB-first bit reader over a byte span, with random seek (needed by the
+/// skip operation: SubtreeSize fields let the decoder jump over encrypted
+/// subtrees without touching them).
+class BitReader {
+ public:
+  BitReader(const uint8_t* data, size_t size_bytes)
+      : data_(data), size_bits_(size_bytes * 8) {}
+  explicit BitReader(const std::vector<uint8_t>& data)
+      : BitReader(data.data(), data.size()) {}
+
+  /// Reads `width` bits into *value (MSB first). width == 0 yields 0.
+  Status ReadBits(int width, uint64_t* value);
+
+  /// Reads one bit.
+  Status ReadBit(bool* bit);
+
+  /// Skips to the next byte boundary then reads n raw bytes.
+  Status ReadAlignedBytes(size_t n, std::string* out);
+
+  /// Absolute bit position.
+  size_t position() const { return pos_; }
+  size_t size_bits() const { return size_bits_; }
+  size_t remaining_bits() const { return size_bits_ - pos_; }
+
+  /// Seeks to an absolute bit offset (used by subtree skips and by the
+  /// pending-predicate re-reads).
+  Status SeekTo(size_t bit_pos);
+
+  /// Advances by `bits` (the skip primitive).
+  Status SkipBits(size_t bits);
+
+ private:
+  const uint8_t* data_;
+  size_t size_bits_;
+  size_t pos_ = 0;
+};
+
+}  // namespace csxa
+
+#endif  // CSXA_COMMON_BITSTREAM_H_

@@ -1,0 +1,24 @@
+#include "common/hexdump.h"
+
+namespace csxa {
+
+std::string HexEncode(const uint8_t* data, size_t n) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(n * 2);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(kDigits[data[i] >> 4]);
+    out.push_back(kDigits[data[i] & 0xF]);
+  }
+  return out;
+}
+
+std::string HexEncode(const std::vector<uint8_t>& data) {
+  return HexEncode(data.data(), data.size());
+}
+
+std::string HexEncode(const std::string& data) {
+  return HexEncode(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+}
+
+}  // namespace csxa

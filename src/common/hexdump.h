@@ -1,0 +1,17 @@
+#ifndef CSXA_COMMON_HEXDUMP_H_
+#define CSXA_COMMON_HEXDUMP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace csxa {
+
+/// Lowercase hex encoding of a byte buffer ("deadbeef"). Debug/test helper.
+std::string HexEncode(const uint8_t* data, size_t n);
+std::string HexEncode(const std::vector<uint8_t>& data);
+std::string HexEncode(const std::string& data);
+
+}  // namespace csxa
+
+#endif  // CSXA_COMMON_HEXDUMP_H_

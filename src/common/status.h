@@ -1,0 +1,120 @@
+#ifndef CSXA_COMMON_STATUS_H_
+#define CSXA_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace csxa {
+
+/// Error categories used across the library. Mirrors the Arrow/RocksDB idiom
+/// of returning a rich status object instead of throwing across API
+/// boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed something malformed (bad XPath, ...).
+  kParseError,        ///< Ill-formed XML or encoded-document input.
+  kOutOfRange,        ///< Read/seek past the end of a stream or document.
+  kIntegrityError,    ///< Tampering detected by the integrity checker.
+  kCorruption,        ///< Encoded document is internally inconsistent.
+  kNotSupported,      ///< Valid input outside the supported XPath fragment.
+  kResourceExhausted, ///< A simulated SOE memory limit was exceeded.
+  kInternal,          ///< Invariant violation inside the library.
+};
+
+/// Human-readable name of a status code (e.g. "IntegrityError").
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail without a payload.
+///
+/// Cheap to copy in the OK case (no allocation); carries a message
+/// otherwise. All fallible public APIs in csxa return Status or Result<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IntegrityError(std::string msg) {
+    return Status(StatusCode::kIntegrityError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T>: either a value or an error Status. Modeled after
+/// arrow::Result. Access the value only after checking ok().
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}         // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(data_);
+  }
+  T& value() { return std::get<T>(data_); }
+  const T& value() const { return std::get<T>(data_); }
+  T take() { return std::move(std::get<T>(data_)); }
+
+  T value_or(T fallback) const { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK Status to the caller, RocksDB-style.
+#define CSXA_RETURN_NOT_OK(expr)                \
+  do {                                          \
+    ::csxa::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Assigns the value of a Result<T> expression or propagates its error.
+#define CSXA_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto CSXA_CONCAT_(_res, __LINE__) = (expr);   \
+  if (!CSXA_CONCAT_(_res, __LINE__).ok())       \
+    return CSXA_CONCAT_(_res, __LINE__).status(); \
+  lhs = CSXA_CONCAT_(_res, __LINE__).take()
+
+#define CSXA_CONCAT_IMPL_(a, b) a##b
+#define CSXA_CONCAT_(a, b) CSXA_CONCAT_IMPL_(a, b)
+
+}  // namespace csxa
+
+#endif  // CSXA_COMMON_STATUS_H_

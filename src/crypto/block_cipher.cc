@@ -1,0 +1,72 @@
+#include "crypto/block_cipher.h"
+
+namespace csxa::crypto {
+
+std::vector<uint8_t> ZeroPadToBlock(const std::vector<uint8_t>& data) {
+  std::vector<uint8_t> out = data;
+  out.resize((data.size() + 7) / 8 * 8, 0);
+  return out;
+}
+
+namespace {
+
+Block64 LoadBlock(const std::vector<uint8_t>& buf, size_t offset) {
+  Block64 b;
+  for (int i = 0; i < 8; ++i) b[i] = buf[offset + i];
+  return b;
+}
+
+void StoreBlock(std::vector<uint8_t>* buf, size_t offset, const Block64& b) {
+  for (int i = 0; i < 8; ++i) (*buf)[offset + i] = b[i];
+}
+
+Block64 Xor(const Block64& a, const Block64& b) {
+  Block64 out;
+  for (int i = 0; i < 8; ++i) out[i] = a[i] ^ b[i];
+  return out;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EcbEncrypt(const TripleDes& cipher,
+                                const std::vector<uint8_t>& plain) {
+  std::vector<uint8_t> out(plain.size());
+  for (size_t off = 0; off + 8 <= plain.size(); off += 8) {
+    StoreBlock(&out, off, cipher.EncryptBlock(LoadBlock(plain, off)));
+  }
+  return out;
+}
+
+std::vector<uint8_t> EcbDecrypt(const TripleDes& cipher,
+                                const std::vector<uint8_t>& cipher_text) {
+  std::vector<uint8_t> out(cipher_text.size());
+  for (size_t off = 0; off + 8 <= cipher_text.size(); off += 8) {
+    StoreBlock(&out, off, cipher.DecryptBlock(LoadBlock(cipher_text, off)));
+  }
+  return out;
+}
+
+std::vector<uint8_t> CbcEncrypt(const TripleDes& cipher, const Block64& iv,
+                                const std::vector<uint8_t>& plain) {
+  std::vector<uint8_t> out(plain.size());
+  Block64 prev = iv;
+  for (size_t off = 0; off + 8 <= plain.size(); off += 8) {
+    prev = cipher.EncryptBlock(Xor(LoadBlock(plain, off), prev));
+    StoreBlock(&out, off, prev);
+  }
+  return out;
+}
+
+std::vector<uint8_t> CbcDecrypt(const TripleDes& cipher, const Block64& iv,
+                                const std::vector<uint8_t>& cipher_text) {
+  std::vector<uint8_t> out(cipher_text.size());
+  Block64 prev = iv;
+  for (size_t off = 0; off + 8 <= cipher_text.size(); off += 8) {
+    Block64 c = LoadBlock(cipher_text, off);
+    StoreBlock(&out, off, Xor(cipher.DecryptBlock(c), prev));
+    prev = c;
+  }
+  return out;
+}
+
+}  // namespace csxa::crypto

@@ -1,0 +1,33 @@
+#ifndef CSXA_CRYPTO_BLOCK_CIPHER_H_
+#define CSXA_CRYPTO_BLOCK_CIPHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/des.h"
+
+namespace csxa::crypto {
+
+/// Pads with zero bytes to a multiple of 8 (the document format records its
+/// own exact length, so unambiguous padding schemes are unnecessary).
+std::vector<uint8_t> ZeroPadToBlock(const std::vector<uint8_t>& data);
+
+/// 3DES-ECB over a whole buffer (must be block aligned). This is the
+/// baseline "ECB" configuration of Figure 11: confidentiality without
+/// instance diversification or integrity.
+std::vector<uint8_t> EcbEncrypt(const TripleDes& cipher,
+                                const std::vector<uint8_t>& plain);
+std::vector<uint8_t> EcbDecrypt(const TripleDes& cipher,
+                                const std::vector<uint8_t>& cipher_text);
+
+/// 3DES-CBC with an explicit IV (used by the CBC-SHA / CBC-SHAC baselines
+/// of Figure 11). Buffer must be block aligned.
+std::vector<uint8_t> CbcEncrypt(const TripleDes& cipher, const Block64& iv,
+                                const std::vector<uint8_t>& plain);
+std::vector<uint8_t> CbcDecrypt(const TripleDes& cipher, const Block64& iv,
+                                const std::vector<uint8_t>& cipher_text);
+
+}  // namespace csxa::crypto
+
+#endif  // CSXA_CRYPTO_BLOCK_CIPHER_H_

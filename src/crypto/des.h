@@ -1,0 +1,48 @@
+#ifndef CSXA_CRYPTO_DES_H_
+#define CSXA_CRYPTO_DES_H_
+
+#include <array>
+#include <cstdint>
+
+namespace csxa::crypto {
+
+/// 8-byte cipher block, the paper's unit of encryption (Appendix A:
+/// "subdivided in blocks of 8 bytes ... the block is the unit of
+/// encryption").
+using Block64 = std::array<uint8_t, 8>;
+
+/// Single DES (FIPS 46-3), implemented from scratch from the standard's
+/// permutation and S-box tables. Kept for completeness and as the building
+/// block of 3DES; use TripleDes for actual document protection.
+class Des {
+ public:
+  /// `key` is 8 bytes; parity bits are ignored as in the standard.
+  explicit Des(const Block64& key);
+
+  Block64 EncryptBlock(const Block64& plain) const;
+  Block64 DecryptBlock(const Block64& cipher) const;
+
+ private:
+  uint64_t Feistel(uint64_t block, bool decrypt) const;
+
+  std::array<uint64_t, 16> subkeys_;  // 48-bit round keys
+};
+
+/// Triple-DES in EDE mode with a 24-byte key (K1,K2,K3), the cipher used by
+/// the paper's prototype (hardwired 3DES on the Axalto smart card).
+class TripleDes {
+ public:
+  using Key = std::array<uint8_t, 24>;
+
+  explicit TripleDes(const Key& key);
+
+  Block64 EncryptBlock(const Block64& plain) const;
+  Block64 DecryptBlock(const Block64& cipher) const;
+
+ private:
+  Des des1_, des2_, des3_;
+};
+
+}  // namespace csxa::crypto
+
+#endif  // CSXA_CRYPTO_DES_H_

@@ -1,0 +1,107 @@
+#include "crypto/merkle.h"
+
+namespace csxa::crypto {
+
+const Sha1Digest& MerkleTree::EmptyLeaf() {
+  static const Sha1Digest kEmpty = Sha1::Hash(std::string());
+  return kEmpty;
+}
+
+MerkleTree MerkleTree::Build(std::vector<Sha1Digest> leaves) {
+  MerkleTree tree;
+  tree.levels_.push_back(std::move(leaves));
+  while (tree.levels_.back().size() > 1) {
+    const auto& below = tree.levels_.back();
+    std::vector<Sha1Digest> level;
+    level.reserve(below.size() / 2);
+    for (size_t i = 0; i + 1 < below.size(); i += 2) {
+      level.push_back(Sha1::HashPair(below[i], below[i + 1]));
+    }
+    tree.levels_.push_back(std::move(level));
+  }
+  return tree;
+}
+
+std::vector<ProofNode> MerkleTree::ProofForRange(uint64_t first,
+                                                 uint64_t last) const {
+  std::vector<ProofNode> proof;
+  uint64_t lo = first;
+  uint64_t hi = last;
+  for (int level = 0; level + 1 < static_cast<int>(levels_.size()); ++level) {
+    const auto& nodes = levels_[level];
+    if (lo % 2 == 1) {
+      proof.push_back({level, lo - 1, nodes[lo - 1]});
+    }
+    if (hi % 2 == 0 && hi + 1 < nodes.size()) {
+      proof.push_back({level, hi + 1, nodes[hi + 1]});
+    }
+    lo /= 2;
+    hi /= 2;
+  }
+  return proof;
+}
+
+Result<Sha1Digest> MerkleTree::RootFromRange(
+    uint64_t leaf_count, uint64_t first, uint64_t last,
+    const std::vector<Sha1Digest>& range_leaves,
+    const std::vector<ProofNode>& proof) {
+  if (leaf_count == 0 || (leaf_count & (leaf_count - 1)) != 0) {
+    return Status::InvalidArgument("leaf_count must be a power of two");
+  }
+  if (first > last || last >= leaf_count ||
+      range_leaves.size() != last - first + 1) {
+    return Status::InvalidArgument("bad leaf range");
+  }
+  // Hashes we currently know at the working level, indexed by node index.
+  std::vector<Sha1Digest> known = range_leaves;
+  uint64_t lo = first;
+  uint64_t hi = last;
+  uint64_t width = leaf_count;
+  int level = 0;
+  auto find_proof = [&proof](int lvl, uint64_t idx,
+                             Sha1Digest* out) -> bool {
+    for (const ProofNode& node : proof) {
+      if (node.level == lvl && node.index == idx) {
+        *out = node.hash;
+        return true;
+      }
+    }
+    return false;
+  };
+  while (width > 1) {
+    // Extend [lo, hi] to even boundaries using proof hashes.
+    if (lo % 2 == 1) {
+      Sha1Digest sibling;
+      if (!find_proof(level, lo - 1, &sibling)) {
+        return Status::Corruption("merkle proof missing left sibling");
+      }
+      known.insert(known.begin(), sibling);
+      --lo;
+    }
+    if (hi % 2 == 0 && hi + 1 < width) {
+      Sha1Digest sibling;
+      if (!find_proof(level, hi + 1, &sibling)) {
+        return Status::Corruption("merkle proof missing right sibling");
+      }
+      known.push_back(sibling);
+      ++hi;
+    }
+    // Combine pairs.
+    std::vector<Sha1Digest> above;
+    above.reserve(known.size() / 2);
+    for (size_t i = 0; i + 1 < known.size(); i += 2) {
+      above.push_back(Sha1::HashPair(known[i], known[i + 1]));
+    }
+    known = std::move(above);
+    lo /= 2;
+    hi /= 2;
+    width /= 2;
+    ++level;
+  }
+  if (known.size() != 1) {
+    return Status::Corruption("merkle verification did not converge");
+  }
+  return known[0];
+}
+
+}  // namespace csxa::crypto

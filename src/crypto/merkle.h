@@ -1,0 +1,56 @@
+#ifndef CSXA_CRYPTO_MERKLE_H_
+#define CSXA_CRYPTO_MERKLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/sha1.h"
+
+namespace csxa::crypto {
+
+/// One hash of a Merkle proof: the digest of the subtree rooted at
+/// (level, index) that the verifier cannot recompute from the data it was
+/// sent. level 0 = leaves; index counts nodes left-to-right in that level.
+struct ProofNode {
+  int level;
+  uint64_t index;
+  Sha1Digest hash;
+
+  bool operator==(const ProofNode&) const = default;
+};
+
+/// Binary Merkle hash tree over a power-of-two number of leaves
+/// (Appendix A, Figure F1: each chunk is divided into m fragments, m a
+/// power of 2, organized in a binary tree whose root is the ChunkDigest).
+class MerkleTree {
+ public:
+  /// Builds the tree bottom-up. `leaves.size()` must be a power of two
+  /// (callers pad short chunks with the hash of the empty string).
+  static MerkleTree Build(std::vector<Sha1Digest> leaves);
+
+  const Sha1Digest& root() const { return levels_.back()[0]; }
+  size_t leaf_count() const { return levels_[0].size(); }
+
+  /// Sibling hashes the terminal must send so that a verifier holding the
+  /// leaf hashes of [first, last] (inclusive) can recompute the root.
+  std::vector<ProofNode> ProofForRange(uint64_t first, uint64_t last) const;
+
+  /// Recomputes the root from the leaf hashes of [first, last] plus a
+  /// proof. Fails (Corruption) when the proof does not cover the tree.
+  static Result<Sha1Digest> RootFromRange(
+      uint64_t leaf_count, uint64_t first, uint64_t last,
+      const std::vector<Sha1Digest>& range_leaves,
+      const std::vector<ProofNode>& proof);
+
+  /// Padding leaf used for the tail of a short final chunk.
+  static const Sha1Digest& EmptyLeaf();
+
+ private:
+  // levels_[0] = leaves ... levels_.back() = {root}.
+  std::vector<std::vector<Sha1Digest>> levels_;
+};
+
+}  // namespace csxa::crypto
+
+#endif  // CSXA_CRYPTO_MERKLE_H_

@@ -1,0 +1,54 @@
+#include "crypto/position_cipher.h"
+
+namespace csxa::crypto {
+
+namespace {
+
+Block64 XorPosition(const Block64& b, uint64_t block_index) {
+  // The absolute byte position of the block, big-endian, XORed in.
+  uint64_t pos = block_index * 8;
+  Block64 out;
+  for (int i = 0; i < 8; ++i) {
+    out[i] = b[i] ^ static_cast<uint8_t>(pos >> (56 - 8 * i));
+  }
+  return out;
+}
+
+}  // namespace
+
+Block64 PositionCipher::EncryptBlock(const Block64& plain,
+                                     uint64_t block_index) const {
+  return cipher_.EncryptBlock(XorPosition(plain, block_index));
+}
+
+Block64 PositionCipher::DecryptBlock(const Block64& cipher,
+                                     uint64_t block_index) const {
+  return XorPosition(cipher_.DecryptBlock(cipher), block_index);
+}
+
+std::vector<uint8_t> PositionCipher::Encrypt(
+    const std::vector<uint8_t>& plain, uint64_t first_block_index) const {
+  std::vector<uint8_t> out(plain.size());
+  for (size_t off = 0; off + 8 <= plain.size(); off += 8) {
+    Block64 b;
+    for (int i = 0; i < 8; ++i) b[i] = plain[off + i];
+    Block64 c = EncryptBlock(b, first_block_index + off / 8);
+    for (int i = 0; i < 8; ++i) out[off + i] = c[i];
+  }
+  return out;
+}
+
+std::vector<uint8_t> PositionCipher::Decrypt(
+    const std::vector<uint8_t>& cipher_text,
+    uint64_t first_block_index) const {
+  std::vector<uint8_t> out(cipher_text.size());
+  for (size_t off = 0; off + 8 <= cipher_text.size(); off += 8) {
+    Block64 c;
+    for (int i = 0; i < 8; ++i) c[i] = cipher_text[off + i];
+    Block64 b = DecryptBlock(c, first_block_index + off / 8);
+    for (int i = 0; i < 8; ++i) out[off + i] = b[i];
+  }
+  return out;
+}
+
+}  // namespace csxa::crypto

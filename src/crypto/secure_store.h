@@ -1,0 +1,134 @@
+#ifndef CSXA_CRYPTO_SECURE_STORE_H_
+#define CSXA_CRYPTO_SECURE_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/merkle.h"
+#include "crypto/position_cipher.h"
+#include "crypto/sha1.h"
+
+namespace csxa::crypto {
+
+/// Chunk/fragment/block layout of Appendix A: the document is split into
+/// chunks (integrity-checking unit, sized to SOE memory), divided into
+/// fragments (random-access unit inside a chunk), subdivided into 8-byte
+/// encryption blocks. fragment_size must divide chunk_size, both multiples
+/// of 8, fragments-per-chunk a power of two.
+struct ChunkLayout {
+  uint32_t chunk_size = 2048;
+  uint32_t fragment_size = 256;
+
+  uint32_t fragments_per_chunk() const { return chunk_size / fragment_size; }
+  Status Validate() const;
+};
+
+/// Response of the untrusted terminal to a random read: ciphertext covering
+/// the requested bytes (extended left to a block boundary and right to a
+/// fragment boundary), plus per-chunk integrity material following the
+/// Merkle-hash-tree protocol of Figure F1.
+struct RangeResponse {
+  uint64_t data_begin = 0;  ///< Absolute byte offset of ciphertext[0].
+  std::vector<uint8_t> ciphertext;
+
+  struct ChunkMaterial {
+    uint64_t chunk_index = 0;
+    uint32_t first_fragment = 0;  ///< Fragment range covered by ciphertext.
+    uint32_t last_fragment = 0;
+    /// Intermediate SHA-1 state of the prefix of `first_fragment` that is
+    /// *not* transferred (terminal hashed ciphertext bytes from the start
+    /// of the fragment up to data_begin). Unused when the range starts at a
+    /// fragment boundary.
+    bool has_prefix_state = false;
+    Sha1::State prefix_state;
+    std::vector<ProofNode> proof;          ///< Sibling hashes (Figure F1).
+    std::vector<uint8_t> encrypted_digest; ///< Encrypted ChunkDigest (24B).
+  };
+  std::vector<ChunkMaterial> chunks;
+
+  /// Bytes moved over the terminal->SOE channel (ciphertext + hashes +
+  /// digests + hash states), for the cost model.
+  uint64_t WireBytes() const;
+};
+
+/// Terminal-side store of an encrypted document: position-mixed 3DES-ECB
+/// ciphertext plus one encrypted Merkle ChunkDigest per chunk. The terminal
+/// needs no key; it only stores and serves. Tampering hooks let tests
+/// emulate the attacks of Section 6.
+class SecureDocumentStore {
+ public:
+  /// Encrypts `plaintext` (zero-padded to a block) and builds the chunk
+  /// digests. The ChunkDigest binds the chunk index (preventing whole-chunk
+  /// transposition) and is encrypted with the document key so the terminal
+  /// cannot re-derive digests for tampered data.
+  static Result<SecureDocumentStore> Build(const std::vector<uint8_t>& plaintext,
+                                           const TripleDes::Key& key,
+                                           const ChunkLayout& layout);
+
+  uint64_t plaintext_size() const { return plaintext_size_; }
+  const ChunkLayout& layout() const { return layout_; }
+  uint64_t chunk_count() const { return digests_.size(); }
+  const std::vector<uint8_t>& ciphertext() const { return ciphertext_; }
+
+  /// Serves `[pos, pos+n)` with integrity material. Terminal-side hashing
+  /// is over ciphertext (so no key is needed), matching Section 6's
+  /// requirement that the terminal can cooperate in integrity checking.
+  Result<RangeResponse> ReadRange(uint64_t pos, uint64_t n) const;
+
+  /// -- Attack emulation (tests) --------------------------------------
+  /// Flips bits of one ciphertext byte (random modification attack).
+  void TamperByte(uint64_t pos, uint8_t xor_mask);
+  /// Swaps two 8-byte ciphertext blocks (substitution attack).
+  void SwapBlocks(uint64_t block_a, uint64_t block_b);
+  /// Replaces a chunk's encrypted digest with another chunk's (digest
+  /// transposition attack).
+  void SwapChunkDigests(uint64_t chunk_a, uint64_t chunk_b);
+
+ private:
+  ChunkLayout layout_;
+  uint64_t plaintext_size_ = 0;
+  std::vector<uint8_t> ciphertext_;
+  std::vector<std::vector<uint8_t>> digests_;  // encrypted, 24 bytes each
+};
+
+/// SOE-side verifier/decryptor: holds the key, recomputes Merkle roots from
+/// RangeResponses, compares them to the decrypted ChunkDigests, and only
+/// then releases plaintext.
+class SoeDecryptor {
+ public:
+  SoeDecryptor(const TripleDes::Key& key, ChunkLayout layout,
+               uint64_t plaintext_size, uint64_t chunk_count);
+
+  /// Verifies integrity of `resp` and decrypts exactly the bytes
+  /// [pos, pos+n) of the document. Returns IntegrityError on any mismatch.
+  Result<std::vector<uint8_t>> DecryptVerified(const RangeResponse& resp,
+                                               uint64_t pos, uint64_t n);
+
+  /// Cumulative work counters (fed to the cost model).
+  struct Counters {
+    uint64_t bytes_decrypted = 0;   ///< Payload blocks decrypted.
+    uint64_t digest_bytes_decrypted = 0;
+    uint64_t bytes_hashed = 0;      ///< Ciphertext bytes hashed in the SOE.
+    uint64_t hash_combines = 0;     ///< Merkle interior-node hashes.
+  };
+  const Counters& counters() const { return counters_; }
+
+  /// Computes what a chunk's encrypted digest must be; exposed so that
+  /// Build and tests share one definition.
+  static std::vector<uint8_t> SealDigest(const PositionCipher& cipher,
+                                         uint64_t chunk_index,
+                                         const Sha1Digest& root,
+                                         uint64_t total_blocks);
+
+ private:
+  PositionCipher cipher_;
+  ChunkLayout layout_;
+  uint64_t plaintext_size_;
+  uint64_t chunk_count_;
+  Counters counters_;
+};
+
+}  // namespace csxa::crypto
+
+#endif  // CSXA_CRYPTO_SECURE_STORE_H_

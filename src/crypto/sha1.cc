@@ -1,0 +1,131 @@
+#include "crypto/sha1.h"
+
+#include <cstring>
+
+namespace csxa::crypto {
+
+namespace {
+
+inline uint32_t Rotl(uint32_t v, int s) { return (v << s) | (v >> (32 - s)); }
+
+}  // namespace
+
+void Sha1::Reset() {
+  h_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  length_ = 0;
+  buffered_ = 0;
+  buffer_.fill(0);
+}
+
+void Sha1::ProcessBlock(const uint8_t* block) {
+  uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
+           (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = Rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    uint32_t temp = Rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = Rotl(b, 30);
+    b = a;
+    a = temp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1::Update(const uint8_t* data, size_t n) {
+  length_ += n;
+  while (n > 0) {
+    size_t take = std::min(n, buffer_.size() - buffered_);
+    std::memcpy(buffer_.data() + buffered_, data, take);
+    buffered_ += take;
+    data += take;
+    n -= take;
+    if (buffered_ == buffer_.size()) {
+      ProcessBlock(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+}
+
+Sha1Digest Sha1::Finish() {
+  uint64_t bit_length = length_ * 8;
+  // Append 0x80 then zero padding then 64-bit big-endian length.
+  uint8_t pad = 0x80;
+  Update(&pad, 1);
+  uint8_t zero = 0;
+  while (buffered_ != 56) Update(&zero, 1);
+  uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<uint8_t>(bit_length >> (56 - 8 * i));
+  }
+  // Write length directly to avoid growing length_ logic interference.
+  std::memcpy(buffer_.data() + 56, len_bytes, 8);
+  ProcessBlock(buffer_.data());
+  buffered_ = 0;
+
+  Sha1Digest digest;
+  for (int i = 0; i < 5; ++i) {
+    digest[i * 4] = static_cast<uint8_t>(h_[i] >> 24);
+    digest[i * 4 + 1] = static_cast<uint8_t>(h_[i] >> 16);
+    digest[i * 4 + 2] = static_cast<uint8_t>(h_[i] >> 8);
+    digest[i * 4 + 3] = static_cast<uint8_t>(h_[i]);
+  }
+  return digest;
+}
+
+Sha1::State Sha1::SaveState() const {
+  State state;
+  state.h = h_;
+  state.length = length_;
+  state.buffer = buffer_;
+  state.buffered = buffered_;
+  return state;
+}
+
+void Sha1::RestoreState(const State& state) {
+  h_ = state.h;
+  length_ = state.length;
+  buffer_ = state.buffer;
+  buffered_ = state.buffered;
+}
+
+Sha1Digest Sha1::Hash(const uint8_t* data, size_t n) {
+  Sha1 hasher;
+  hasher.Update(data, n);
+  return hasher.Finish();
+}
+
+Sha1Digest Sha1::HashPair(const Sha1Digest& left, const Sha1Digest& right) {
+  Sha1 hasher;
+  hasher.Update(left.data(), left.size());
+  hasher.Update(right.data(), right.size());
+  return hasher.Finish();
+}
+
+}  // namespace csxa::crypto

@@ -1,0 +1,73 @@
+#ifndef CSXA_CRYPTO_SHA1_H_
+#define CSXA_CRYPTO_SHA1_H_
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace csxa::crypto {
+
+/// SHA-1 digest (20 bytes). Used for chunk digests and Merkle trees
+/// (Section 6 / Appendix A of the paper use SHA-1 as the collision
+/// resistant hash function).
+using Sha1Digest = std::array<uint8_t, 20>;
+
+/// Incremental SHA-1 (FIPS 180-1), implemented from scratch.
+///
+/// Incrementality matters: the paper's "basic" integrity protocol has the
+/// untrusted terminal hash the prefix of a chunk and ship the *intermediate
+/// state* to the SOE, which continues hashing — `SaveState`/`RestoreState`
+/// expose exactly that.
+class Sha1 {
+ public:
+  Sha1() { Reset(); }
+
+  void Reset();
+  void Update(const uint8_t* data, size_t n);
+  void Update(const std::vector<uint8_t>& data) {
+    Update(data.data(), data.size());
+  }
+  void Update(const std::string& data) {
+    Update(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+  }
+
+  /// Finalizes and returns the digest. The object must be Reset() before
+  /// reuse.
+  Sha1Digest Finish();
+
+  /// Serialized mid-stream state (h0..h4, length, buffered block), allowing
+  /// a second party to continue the hash where the first stopped.
+  struct State {
+    std::array<uint32_t, 5> h;
+    uint64_t length = 0;
+    std::array<uint8_t, 64> buffer{};
+    size_t buffered = 0;
+  };
+  State SaveState() const;
+  void RestoreState(const State& state);
+
+  /// One-shot convenience.
+  static Sha1Digest Hash(const uint8_t* data, size_t n);
+  static Sha1Digest Hash(const std::vector<uint8_t>& data) {
+    return Hash(data.data(), data.size());
+  }
+  static Sha1Digest Hash(const std::string& data) {
+    return Hash(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+  }
+  /// Hash of the concatenation of two digests (Merkle interior node).
+  static Sha1Digest HashPair(const Sha1Digest& left, const Sha1Digest& right);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  std::array<uint32_t, 5> h_;
+  uint64_t length_ = 0;  // total bytes seen
+  std::array<uint8_t, 64> buffer_{};
+  size_t buffered_ = 0;
+};
+
+}  // namespace csxa::crypto
+
+#endif  // CSXA_CRYPTO_SHA1_H_

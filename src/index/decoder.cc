@@ -1,0 +1,323 @@
+#include "index/decoder.h"
+
+#include <algorithm>
+
+#include "common/bitstream.h"
+
+namespace csxa::index {
+
+Result<std::unique_ptr<DocumentNavigator>> DocumentNavigator::Open(
+    const EncodedDocument* doc) {
+  return OpenBuffer(doc->bytes.data(), doc->bytes.size(), nullptr);
+}
+
+Result<std::unique_ptr<DocumentNavigator>> DocumentNavigator::OpenBuffer(
+    const uint8_t* data, size_t size, Fetcher* fetcher) {
+  auto nav = std::unique_ptr<DocumentNavigator>(new DocumentNavigator());
+  CSXA_RETURN_NOT_OK(nav->Init(data, size, fetcher));
+  return nav;
+}
+
+Status DocumentNavigator::Init(const uint8_t* data, size_t size,
+                               Fetcher* fetcher) {
+  data_ = data;
+  fetcher_ = fetcher;
+  // Materialize enough prefix to parse the header, growing on demand.
+  size_t ensured = std::min<size_t>(size, 4096);
+  while (true) {
+    if (fetcher_ != nullptr) CSXA_RETURN_NOT_OK(fetcher_->Ensure(0, ensured));
+    auto info = ParseHeaderInfo(data, ensured);
+    if (info.ok()) {
+      variant_ = info.value().variant;
+      dict_ = std::move(info.value().dictionary);
+      stream_offset_ = info.value().stream_offset;
+      root_size_bits_ = info.value().root_size_bits;
+      break;
+    }
+    if (ensured == size) return info.status();
+    ensured = std::min(size, ensured * 2);
+  }
+  size_bits_ = (size - stream_offset_) * 8;
+  Touch(0, stream_offset_);
+  return Status::OK();
+}
+
+void DocumentNavigator::Touch(uint64_t begin_byte, uint64_t end_byte) {
+  if (begin_byte >= end_byte) return;
+  if (!trace_.empty() && begin_byte >= trace_.back().begin &&
+      begin_byte <= trace_.back().end) {
+    trace_.back().end = std::max(trace_.back().end, end_byte);
+    return;
+  }
+  trace_.push_back({begin_byte, end_byte});
+}
+
+Result<uint64_t> DocumentNavigator::ReadBits(int width) {
+  if (width == 0) return uint64_t{0};
+  if (pos_ + static_cast<size_t>(width) > size_bits_) {
+    return Status::Corruption("encoded stream truncated");
+  }
+  uint64_t begin_byte = stream_offset_ + pos_ / 8;
+  uint64_t end_byte = stream_offset_ + (pos_ + width + 7) / 8;
+  if (fetcher_ != nullptr) {
+    CSXA_RETURN_NOT_OK(fetcher_->Ensure(begin_byte, end_byte));
+  }
+  Touch(begin_byte, end_byte);
+  const uint8_t* stream = data_ + stream_offset_;
+  uint64_t v = 0;
+  size_t p = pos_;
+  for (int i = 0; i < width; ++i, ++p) {
+    v = (v << 1) | ((stream[p >> 3] >> (7 - (p & 7))) & 1);
+  }
+  pos_ = p;
+  bits_read_ += static_cast<uint64_t>(width);
+  return v;
+}
+
+Status DocumentNavigator::ReadText(uint64_t len, std::string* out) {
+  out->clear();
+  out->reserve(len);
+  for (uint64_t i = 0; i < len; ++i) {
+    auto byte = ReadBits(8);
+    if (!byte.ok()) return byte.status();
+    out->push_back(static_cast<char>(byte.value()));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> DocumentNavigator::ReadTcVarint() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    auto cont = ReadBits(1);
+    if (!cont.ok()) return cont.status();
+    auto group = ReadBits(4);
+    if (!group.ok()) return group.status();
+    v |= group.value() << shift;
+    shift += 4;
+    if (cont.value() == 0) break;
+    if (shift > 60) return Status::Corruption("varint too long");
+  }
+  return v;
+}
+
+Result<DocumentNavigator::Item> DocumentNavigator::Next() {
+  if (variant_ == Variant::kTc) return NextTc();
+  return NextPacked();
+}
+
+Result<DocumentNavigator::Item> DocumentNavigator::NextPacked() {
+  Item item;
+  if (done_) {
+    item.kind = ItemKind::kEnd;
+    return item;
+  }
+  const size_t nt = dict_.size();
+
+  if (!started_) {
+    started_ = true;
+    auto kind = ReadBits(1);
+    if (!kind.ok()) return kind.status();
+    if (kind.value() != 1) {
+      return Status::Corruption("root node must be an element");
+    }
+    auto internal = ReadBits(1);
+    if (!internal.ok()) return internal.status();
+    auto tag = ReadBits(BitsFor(nt));
+    if (!tag.ok()) return tag.status();
+    if (tag.value() >= nt) return Status::Corruption("root tag out of range");
+    Checkpoint::Frame frame;
+    frame.tag = static_cast<xml::TagId>(tag.value());
+    // Descendant-tag bitmap over the full dictionary.
+    if (internal.value() != 0 &&
+        (variant_ == Variant::kTcsb || variant_ == Variant::kTcsbr)) {
+      for (xml::TagId t = 0; t < nt; ++t) {
+        auto bit = ReadBits(1);
+        if (!bit.ok()) return bit.status();
+        if (bit.value()) frame.ctx.push_back(t);
+      }
+      item.has_desc = true;
+      item.desc = frame.ctx;
+    }
+    frame.end_bit = pos_ + root_size_bits_;
+    frame.width = BitWidth(root_size_bits_);
+    if (frame.end_bit > size_bits_) {
+      return Status::Corruption("root size exceeds stream");
+    }
+    frames_.push_back(std::move(frame));
+    depth_ = 1;
+    item.kind = ItemKind::kOpen;
+    item.depth = 1;
+    item.tag_id = static_cast<xml::TagId>(tag.value());
+    item.tag = dict_.Name(item.tag_id);
+    return item;
+  }
+
+  Checkpoint::Frame& top = frames_.back();
+  if (pos_ > top.end_bit) {
+    return Status::Corruption("decoder overran subtree boundary");
+  }
+  if (pos_ == top.end_bit) {
+    item.kind = ItemKind::kClose;
+    item.depth = depth_;
+    item.tag_id = top.tag;
+    item.tag = dict_.Name(top.tag);
+    frames_.pop_back();
+    --depth_;
+    if (frames_.empty()) done_ = true;
+    return item;
+  }
+
+  auto kind = ReadBits(1);
+  if (!kind.ok()) return kind.status();
+  if (kind.value() == 0) {  // text node
+    auto len = ReadBits(top.width);
+    if (!len.ok()) return len.status();
+    CSXA_RETURN_NOT_OK(ReadText(len.value(), &item.value));
+    item.kind = ItemKind::kValue;
+    item.depth = depth_ + 1;
+    return item;
+  }
+
+  // Element node.
+  auto internal = ReadBits(1);
+  if (!internal.ok()) return internal.status();
+  auto size = ReadBits(top.width);
+  if (!size.ok()) return size.status();
+
+  xml::TagId tag_id = 0;
+  if (variant_ == Variant::kTcsbr) {
+    auto idx = ReadBits(BitsFor(top.ctx.size()));
+    if (!idx.ok()) return idx.status();
+    if (idx.value() >= top.ctx.size()) {
+      return Status::Corruption("tag index outside parent context");
+    }
+    tag_id = top.ctx[idx.value()];
+  } else {
+    auto tag = ReadBits(BitsFor(nt));
+    if (!tag.ok()) return tag.status();
+    if (tag.value() >= nt) return Status::Corruption("tag out of range");
+    tag_id = static_cast<xml::TagId>(tag.value());
+  }
+
+  Checkpoint::Frame frame;
+  frame.tag = tag_id;
+  if (internal.value() != 0) {
+    if (variant_ == Variant::kTcsb) {
+      for (xml::TagId t = 0; t < nt; ++t) {
+        auto bit = ReadBits(1);
+        if (!bit.ok()) return bit.status();
+        if (bit.value()) frame.ctx.push_back(t);
+      }
+      item.has_desc = true;
+      item.desc = frame.ctx;
+    } else if (variant_ == Variant::kTcsbr) {
+      for (xml::TagId t : top.ctx) {
+        auto bit = ReadBits(1);
+        if (!bit.ok()) return bit.status();
+        if (bit.value()) frame.ctx.push_back(t);
+      }
+      item.has_desc = true;
+      item.desc = frame.ctx;
+    }
+  } else if (variant_ == Variant::kTcsb || variant_ == Variant::kTcsbr) {
+    // Leaf element: DescTag is known to be empty.
+    item.has_desc = true;
+  }
+  frame.end_bit = pos_ + size.value();
+  frame.width = BitWidth(size.value());
+  if (frame.end_bit > top.end_bit) {
+    return Status::Corruption("child subtree exceeds parent extent");
+  }
+  frames_.push_back(std::move(frame));
+  ++depth_;
+  item.kind = ItemKind::kOpen;
+  item.depth = depth_;
+  item.tag_id = tag_id;
+  item.tag = dict_.Name(tag_id);
+  return item;
+}
+
+Result<DocumentNavigator::Item> DocumentNavigator::NextTc() {
+  Item item;
+  if (done_) {
+    item.kind = ItemKind::kEnd;
+    return item;
+  }
+  auto marker = ReadBits(2);
+  if (!marker.ok()) return marker.status();
+  switch (marker.value()) {
+    case 0b00: {  // end of children
+      if (tc_stack_.empty()) {
+        return Status::Corruption("unbalanced end-of-children marker");
+      }
+      item.kind = ItemKind::kClose;
+      item.depth = depth_;
+      item.tag_id = tc_stack_.back();
+      item.tag = dict_.Name(item.tag_id);
+      tc_stack_.pop_back();
+      --depth_;
+      if (tc_stack_.empty()) done_ = true;
+      return item;
+    }
+    case 0b01: {  // element
+      if (!started_) started_ = true;
+      auto tag = ReadBits(BitsFor(dict_.size()));
+      if (!tag.ok()) return tag.status();
+      if (tag.value() >= dict_.size()) {
+        return Status::Corruption("tag out of range");
+      }
+      tc_stack_.push_back(static_cast<xml::TagId>(tag.value()));
+      ++depth_;
+      item.kind = ItemKind::kOpen;
+      item.depth = depth_;
+      item.tag_id = tc_stack_.back();
+      item.tag = dict_.Name(item.tag_id);
+      return item;
+    }
+    case 0b10: {  // text
+      auto len = ReadTcVarint();
+      if (!len.ok()) return len.status();
+      CSXA_RETURN_NOT_OK(ReadText(len.value(), &item.value));
+      item.kind = ItemKind::kValue;
+      item.depth = depth_ + 1;
+      return item;
+    }
+    default:
+      return Status::Corruption("invalid TC node marker");
+  }
+}
+
+Status DocumentNavigator::SkipSubtree() {
+  if (!CanSkip()) {
+    return Status::NotSupported("TC streams cannot skip subtrees");
+  }
+  if (frames_.empty()) {
+    return Status::InvalidArgument("no open element to skip");
+  }
+  pos_ = frames_.back().end_bit;
+  return Status::OK();
+}
+
+DocumentNavigator::Checkpoint DocumentNavigator::Save() const {
+  Checkpoint cp;
+  cp.bit_pos = pos_;
+  cp.depth = depth_;
+  cp.started = started_;
+  cp.frames = frames_;
+  return cp;
+}
+
+Status DocumentNavigator::Restore(const Checkpoint& checkpoint) {
+  if (checkpoint.bit_pos > size_bits_) {
+    return Status::OutOfRange("checkpoint past end of stream");
+  }
+  pos_ = checkpoint.bit_pos;
+  depth_ = checkpoint.depth;
+  started_ = checkpoint.started;
+  frames_ = checkpoint.frames;
+  done_ = started_ && frames_.empty();
+  return Status::OK();
+}
+
+}  // namespace csxa::index

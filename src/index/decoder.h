@@ -1,0 +1,137 @@
+#ifndef CSXA_INDEX_DECODER_H_
+#define CSXA_INDEX_DECODER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/encoded_document.h"
+#include "xml/tag_dictionary.h"
+
+namespace csxa::index {
+
+/// Supplies the navigator with document bytes on demand. The in-memory
+/// case needs no fetcher; the SOE pipeline plugs in one that pulls,
+/// verifies and decrypts chunks from the untrusted terminal lazily, so
+/// skipped regions are never transferred or decrypted.
+class Fetcher {
+ public:
+  virtual ~Fetcher() = default;
+  /// Ensures bytes [begin, end) of the encoded document are valid in the
+  /// buffer the navigator reads from. Returns IntegrityError on tampering.
+  virtual Status Ensure(uint64_t begin, uint64_t end) = 0;
+};
+
+/// Byte interval [begin, end) of the encoded document that was actually
+/// consumed (not skipped) — the access trace drives the cost model.
+struct ByteInterval {
+  uint64_t begin;
+  uint64_t end;
+};
+
+/// Streaming decoder of an encoded document with skip support.
+///
+/// The navigator is the SOE-resident counterpart of the paper's SkipStack
+/// (Section 4.1): it keeps, per open element, the decoded DescTag set and
+/// the subtree extent, and decodes each element's metadata relative to its
+/// parent's.
+class DocumentNavigator {
+ public:
+  /// What Next() produced.
+  enum class ItemKind { kOpen, kValue, kClose, kEnd };
+
+  struct Item {
+    ItemKind kind = ItemKind::kEnd;
+    int depth = 0;              ///< Element depth (root = 1); value = +1.
+    xml::TagId tag_id = 0;      ///< kOpen/kClose.
+    std::string tag;            ///< kOpen/kClose.
+    std::string value;          ///< kValue.
+    /// kOpen only: DescTag set of the opened element (tags that can appear
+    /// strictly below it) — has_desc=false for TC/TCS streams.
+    bool has_desc = false;
+    std::vector<xml::TagId> desc;
+  };
+
+  /// Opens over a fully materialized document. `doc` must outlive the
+  /// navigator.
+  static Result<std::unique_ptr<DocumentNavigator>> Open(
+      const EncodedDocument* doc);
+
+  /// Opens over a raw buffer whose contents materialize through `fetcher`
+  /// (may be null). The buffer must stay valid and fixed-size; the fetcher
+  /// fills it in place.
+  static Result<std::unique_ptr<DocumentNavigator>> OpenBuffer(
+      const uint8_t* data, size_t size, Fetcher* fetcher);
+
+  /// Advances to the next event.
+  Result<Item> Next();
+
+  /// True if the stream supports subtree skipping (TCS and richer).
+  bool CanSkip() const { return variant_ != Variant::kTc; }
+
+  /// Skips the remaining children of the most recently opened element; the
+  /// following Next() yields that element's kClose. Skipped bytes are never
+  /// fetched or decoded.
+  Status SkipSubtree();
+
+  /// Decode-state snapshot for pending-subtree re-reads (Section 5: parts
+  /// left aside are read back later without re-analyzing anything else).
+  struct Checkpoint {
+    size_t bit_pos = 0;
+    int depth = 0;
+    bool started = false;
+    struct Frame {
+      xml::TagId tag = 0;
+      uint64_t end_bit = 0;
+      int width = 0;
+      std::vector<xml::TagId> ctx;  // children decode context (TCSBR)
+    };
+    std::vector<Frame> frames;
+  };
+  Checkpoint Save() const;
+  Status Restore(const Checkpoint& checkpoint);
+
+  /// Total bits consumed by reads (skips excluded).
+  uint64_t bits_read() const { return bits_read_; }
+  /// Merged byte intervals actually read, in first-touch order.
+  const std::vector<ByteInterval>& trace() const { return trace_; }
+
+  const xml::TagDictionary& dictionary() const { return dict_; }
+  Variant variant() const { return variant_; }
+
+ private:
+  DocumentNavigator() = default;
+
+  Status Init(const uint8_t* data, size_t size, Fetcher* fetcher);
+  Result<uint64_t> ReadBits(int width);
+  Status ReadText(uint64_t len, std::string* out);
+  Result<uint64_t> ReadTcVarint();
+  void Touch(uint64_t begin_byte, uint64_t end_byte);
+
+  Result<Item> NextPacked();
+  Result<Item> NextTc();
+
+  const uint8_t* data_ = nullptr;
+  size_t size_bits_ = 0;
+  Fetcher* fetcher_ = nullptr;
+  Variant variant_ = Variant::kTcsbr;
+  xml::TagDictionary dict_;
+  size_t stream_offset_ = 0;  // bytes
+  uint64_t root_size_bits_ = 0;
+
+  size_t pos_ = 0;  // absolute bit position, relative to stream start
+  bool started_ = false;
+  bool done_ = false;
+  int depth_ = 0;
+  std::vector<Checkpoint::Frame> frames_;
+  std::vector<xml::TagId> tc_stack_;  // TC-only open-element tags
+
+  uint64_t bits_read_ = 0;
+  std::vector<ByteInterval> trace_;
+};
+
+}  // namespace csxa::index
+
+#endif  // CSXA_INDEX_DECODER_H_

@@ -1,0 +1,248 @@
+#include "index/encoder.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/bitstream.h"
+
+namespace csxa::index {
+
+namespace {
+
+using xml::Node;
+using xml::TagDictionary;
+using xml::TagId;
+
+/// Per-element annotation used during encoding.
+struct Ann {
+  const Node* node = nullptr;
+  TagId tag = 0;
+  bool internal = false;            // has at least one element child
+  std::vector<TagId> desc;          // sorted tags of strict descendants
+  std::vector<std::unique_ptr<Ann>> children;  // element children, in order
+  uint64_t size_bits = 0;           // C(e): bits of the children region
+  int width = 64;                   // W(e): size-field width for children
+};
+
+std::unique_ptr<Ann> Annotate(const Node& node, TagDictionary* dict) {
+  auto ann = std::make_unique<Ann>();
+  ann->node = &node;
+  ann->tag = dict->Intern(node.tag());
+  std::vector<TagId> desc;
+  for (const auto& child : node.children()) {
+    if (!child->is_element()) continue;
+    ann->internal = true;
+    auto child_ann = Annotate(*child, dict);
+    desc.push_back(child_ann->tag);
+    desc.insert(desc.end(), child_ann->desc.begin(), child_ann->desc.end());
+    ann->children.push_back(std::move(child_ann));
+  }
+  std::sort(desc.begin(), desc.end());
+  desc.erase(std::unique(desc.begin(), desc.end()), desc.end());
+  ann->desc = std::move(desc);
+  return ann;
+}
+
+struct Layout {
+  Variant variant;
+  size_t dict_size;  // Nt
+
+  int TagBits(size_t parent_ctx_size) const {
+    if (variant == Variant::kTcsbr) {
+      return BitsFor(static_cast<uint64_t>(parent_ctx_size));
+    }
+    return BitsFor(static_cast<uint64_t>(dict_size));
+  }
+  int ArrayBits(size_t parent_ctx_size, bool internal) const {
+    if (!internal) return 0;
+    if (variant == Variant::kTcsb) return static_cast<int>(dict_size);
+    if (variant == Variant::kTcsbr) return static_cast<int>(parent_ctx_size);
+    return 0;
+  }
+};
+
+/// One bottom-up pass computing size_bits given the current widths.
+/// `parent_ctx_size` is |DescTag_parent(e)| (dictionary size for the root).
+void ComputeSizes(Ann* e, size_t parent_ctx_size, const Layout& layout) {
+  uint64_t bits = 0;
+  size_t elem_index = 0;
+  for (const auto& child : e->node->children()) {
+    if (child->is_text()) {
+      bits += 1 + static_cast<uint64_t>(e->width) + 8 * child->value().size();
+    } else {
+      Ann* ce = e->children[elem_index++].get();
+      ComputeSizes(ce, e->desc.size(), layout);
+      bits += 2 + static_cast<uint64_t>(e->width) +
+              layout.TagBits(e->desc.size()) +
+              layout.ArrayBits(e->desc.size(), ce->internal) + ce->size_bits;
+    }
+  }
+  (void)parent_ctx_size;
+  e->size_bits = bits;
+}
+
+/// Top-down width refresh; returns true if any width changed.
+bool RefreshWidths(Ann* e) {
+  bool changed = false;
+  int w = BitWidth(e->size_bits);
+  if (w != e->width) {
+    e->width = w;
+    changed = true;
+  }
+  for (auto& child : e->children) changed |= RefreshWidths(child.get());
+  return changed;
+}
+
+/// Index of `tag` in the sorted context `ctx`.
+uint64_t TagIndexIn(const std::vector<TagId>& ctx, TagId tag) {
+  auto it = std::lower_bound(ctx.begin(), ctx.end(), tag);
+  return static_cast<uint64_t>(it - ctx.begin());
+}
+
+class Emitter {
+ public:
+  Emitter(const Layout& layout, const TagDictionary& dict)
+      : layout_(layout), dict_(dict) {
+    for (TagId i = 0; i < dict.size(); ++i) full_ctx_.push_back(i);
+  }
+
+  void EmitElement(const Ann& e, const std::vector<TagId>& parent_ctx,
+                   int parent_width, bool is_root) {
+    writer_.WriteBit(true);  // kind = element
+    writer_.WriteBit(e.internal);
+    if (!is_root) writer_.WriteBits(e.size_bits, parent_width);
+    // Tag code.
+    if (layout_.variant == Variant::kTcsbr) {
+      writer_.WriteBits(TagIndexIn(parent_ctx, e.tag),
+                        layout_.TagBits(parent_ctx.size()));
+    } else {
+      writer_.WriteBits(e.tag, layout_.TagBits(parent_ctx.size()));
+    }
+    // Descendant-tag bitmap.
+    if (e.internal && layout_.variant == Variant::kTcsb) {
+      for (TagId t = 0; t < dict_.size(); ++t) {
+        writer_.WriteBit(std::binary_search(e.desc.begin(), e.desc.end(), t));
+      }
+    } else if (e.internal && layout_.variant == Variant::kTcsbr) {
+      for (TagId t : parent_ctx) {
+        writer_.WriteBit(std::binary_search(e.desc.begin(), e.desc.end(), t));
+      }
+    }
+    // Children.
+    size_t elem_index = 0;
+    for (const auto& child : e.node->children()) {
+      if (child->is_text()) {
+        writer_.WriteBit(false);  // kind = text
+        writer_.WriteBits(child->value().size(), e.width);
+        for (unsigned char c : child->value()) writer_.WriteBits(c, 8);
+        text_bits_ += 8 * child->value().size();
+      } else {
+        EmitElement(*e.children[elem_index++], e.desc, e.width,
+                    /*is_root=*/false);
+      }
+    }
+  }
+
+  /// TC scheme: 2-bit markers, explicit end-of-children, varint lengths.
+  void EmitTc(const Node& node) {
+    if (node.is_text()) {
+      writer_.WriteBits(0b10, 2);
+      EmitVarint(node.value().size());
+      for (unsigned char c : node.value()) writer_.WriteBits(c, 8);
+      text_bits_ += 8 * node.value().size();
+      return;
+    }
+    writer_.WriteBits(0b01, 2);
+    TagId tag = 0;
+    dict_.Lookup(node.tag(), &tag);
+    writer_.WriteBits(tag, BitsFor(dict_.size()));
+    for (const auto& child : node.children()) EmitTc(*child);
+    writer_.WriteBits(0b00, 2);  // end of children
+  }
+
+  BitWriter& writer() { return writer_; }
+  uint64_t text_bits() const { return text_bits_; }
+  const std::vector<TagId>& full_ctx() const { return full_ctx_; }
+
+ private:
+  void EmitVarint(uint64_t v) {
+    // Little-endian 4-bit groups, each preceded by a continuation bit.
+    do {
+      uint64_t group = v & 0xF;
+      v >>= 4;
+      writer_.WriteBit(v != 0);
+      writer_.WriteBits(group, 4);
+    } while (v != 0);
+  }
+
+  const Layout& layout_;
+  const TagDictionary& dict_;
+  std::vector<TagId> full_ctx_;
+  BitWriter writer_;
+  uint64_t text_bits_ = 0;
+};
+
+}  // namespace
+
+Result<EncodedDocument> Encode(const Node& root, Variant variant) {
+  if (variant == Variant::kNc) {
+    return Status::InvalidArgument(
+        "NC is raw XML text, not a binary encoding; use MeasureVariant");
+  }
+  if (!root.is_element()) {
+    return Status::InvalidArgument("document root must be an element");
+  }
+
+  EncodedDocument doc;
+  doc.variant = variant;
+
+  TagDictionary dict;
+  auto ann = Annotate(root, &dict);
+  Layout layout{variant, dict.size()};
+
+  if (variant != Variant::kTc) {
+    // Least fixed point of (sizes, widths): widths start at 64 and only
+    // shrink; each round recomputes sizes bottom-up then widths top-down.
+    int rounds = 0;
+    do {
+      ComputeSizes(ann.get(), dict.size(), layout);
+      ++rounds;
+      if (rounds > 64) {
+        return Status::Internal("size fixed point did not converge");
+      }
+    } while (RefreshWidths(ann.get()));
+  }
+
+  Emitter emitter(layout, dict);
+  if (variant == Variant::kTc) {
+    emitter.EmitTc(root);
+  } else {
+    emitter.EmitElement(*ann, emitter.full_ctx(), /*parent_width=*/0,
+                        /*is_root=*/true);
+  }
+
+  // Assemble header + stream.
+  std::vector<uint8_t> bytes(format::kMagic,
+                             format::kMagic + format::kMagicSize);
+  bytes.push_back(static_cast<uint8_t>(variant));
+  std::vector<uint8_t> dict_bytes = dict.Serialize();
+  bytes.insert(bytes.end(), dict_bytes.begin(), dict_bytes.end());
+  uint64_t root_bits = variant == Variant::kTc ? 0 : ann->size_bits;
+  for (int i = 0; i < 8; ++i) {
+    bytes.push_back(static_cast<uint8_t>(root_bits >> (56 - 8 * i)));
+  }
+  doc.stream_offset = bytes.size();
+  uint64_t stream_bits = emitter.writer().bit_size();
+  std::vector<uint8_t> stream = emitter.writer().TakeBytes();
+  bytes.insert(bytes.end(), stream.begin(), stream.end());
+
+  doc.bytes = std::move(bytes);
+  doc.dictionary = std::move(dict);
+  doc.root_size_bits = root_bits;
+  doc.text_bits = emitter.text_bits();
+  doc.structure_bits =
+      doc.stream_offset * 8 + stream_bits - emitter.text_bits();
+  return doc;
+}
+
+}  // namespace csxa::index

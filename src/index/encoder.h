@@ -1,0 +1,23 @@
+#ifndef CSXA_INDEX_ENCODER_H_
+#define CSXA_INDEX_ENCODER_H_
+
+#include "common/status.h"
+#include "index/encoded_document.h"
+#include "xml/node.h"
+
+namespace csxa::index {
+
+/// Encodes a DOM tree into one of the binary structure formats (Section 4.1
+/// of the paper). Variant::kNc is not a binary format — use
+/// `MeasureVariant` from index/variants.h for its Figure 8 numbers.
+///
+/// The recursive size fields of TCS/TCSB/TCSBR are self-referential (a
+/// subtree's size includes its children's size fields, whose widths depend
+/// on that very size); the encoder resolves this with a bottom-up /
+/// top-down iteration to the least fixed point, which converges in a
+/// handful of rounds.
+Result<EncodedDocument> Encode(const xml::Node& root, Variant variant);
+
+}  // namespace csxa::index
+
+#endif  // CSXA_INDEX_ENCODER_H_

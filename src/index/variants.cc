@@ -1,0 +1,27 @@
+#include "index/variants.h"
+
+#include "index/encoder.h"
+#include "xml/serializer.h"
+
+namespace csxa::index {
+
+Result<SizeReport> MeasureVariant(const xml::Node& root, Variant variant) {
+  SizeReport report;
+  report.variant = variant;
+  if (variant == Variant::kNc) {
+    std::string text = xml::Serialize(root);
+    report.total_bytes = text.size();
+    report.text_bytes = root.TextLength();
+    report.structure_bytes = report.total_bytes - report.text_bytes;
+    return report;
+  }
+  auto encoded = Encode(root, variant);
+  if (!encoded.ok()) return encoded.status();
+  const EncodedDocument& doc = encoded.value();
+  report.total_bytes = doc.bytes.size();
+  report.text_bytes = doc.text_bits / 8;
+  report.structure_bytes = (doc.structure_bits + 7) / 8;
+  return report;
+}
+
+}  // namespace csxa::index

@@ -1,0 +1,50 @@
+#ifndef CSXA_XML_EVENT_H_
+#define CSXA_XML_EVENT_H_
+
+#include <string>
+
+namespace csxa::xml {
+
+/// SAX-style event kinds (the paper's open / value / close events).
+enum class EventKind {
+  kOpen,   ///< Opening tag `<tag>`.
+  kValue,  ///< Text node content.
+  kClose,  ///< Closing tag `</tag>`.
+};
+
+/// One parsing event. `text` holds the tag name for open/close and the
+/// character data for value events.
+struct Event {
+  EventKind kind;
+  std::string text;
+
+  static Event Open(std::string tag) {
+    return Event{EventKind::kOpen, std::move(tag)};
+  }
+  static Event Value(std::string value) {
+    return Event{EventKind::kValue, std::move(value)};
+  }
+  static Event Close(std::string tag) {
+    return Event{EventKind::kClose, std::move(tag)};
+  }
+
+  bool operator==(const Event& other) const = default;
+};
+
+/// Receiver of parsing events; implemented by the access-control evaluator,
+/// the skip-index encoder, document statistics, etc.
+class EventHandler {
+ public:
+  virtual ~EventHandler() = default;
+  /// Called for `<tag>`. `depth` is the depth of the opened element
+  /// (root = 1), matching the depth labels used by rule instances.
+  virtual void OnOpen(const std::string& tag, int depth) = 0;
+  /// Called for text content at the current depth.
+  virtual void OnValue(const std::string& value, int depth) = 0;
+  /// Called for `</tag>`; depth is the depth of the element being closed.
+  virtual void OnClose(const std::string& tag, int depth) = 0;
+};
+
+}  // namespace csxa::xml
+
+#endif  // CSXA_XML_EVENT_H_

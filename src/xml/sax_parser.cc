@@ -1,0 +1,223 @@
+#include "xml/sax_parser.h"
+
+#include <cctype>
+#include <vector>
+
+namespace csxa::xml {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.';
+}
+
+bool IsSpaceOnly(std::string_view s) {
+  for (char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+/// Decodes the five predefined entities; unknown entities are kept verbatim.
+std::string DecodeEntities(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  size_t i = 0;
+  while (i < raw.size()) {
+    if (raw[i] != '&') {
+      out.push_back(raw[i++]);
+      continue;
+    }
+    auto tryMatch = [&](std::string_view ent, char repl) {
+      if (raw.substr(i, ent.size()) == ent) {
+        out.push_back(repl);
+        i += ent.size();
+        return true;
+      }
+      return false;
+    };
+    if (tryMatch("&lt;", '<') || tryMatch("&gt;", '>') ||
+        tryMatch("&amp;", '&') || tryMatch("&quot;", '"') ||
+        tryMatch("&apos;", '\'')) {
+      continue;
+    }
+    out.push_back(raw[i++]);
+  }
+  return out;
+}
+
+/// DOM builder used by ParseToDom.
+class DomBuilder : public EventHandler {
+ public:
+  void OnOpen(const std::string& tag, int) override {
+    if (current_ == nullptr) {
+      if (root_ != nullptr) {
+        multiple_roots_ = true;
+        return;
+      }
+      root_ = Node::Element(tag);
+      current_ = root_.get();
+    } else {
+      current_ = current_->AppendElement(tag);
+    }
+  }
+  void OnValue(const std::string& value, int) override {
+    if (current_ != nullptr) current_->AppendText(value);
+  }
+  void OnClose(const std::string&, int) override {
+    if (current_ != nullptr) current_ = current_->parent();
+  }
+
+  std::unique_ptr<Node> TakeRoot() { return std::move(root_); }
+  bool multiple_roots() const { return multiple_roots_; }
+
+ private:
+  std::unique_ptr<Node> root_;
+  Node* current_ = nullptr;
+  bool multiple_roots_ = false;
+};
+
+}  // namespace
+
+Status SaxParser::Parse(std::string_view input, EventHandler* handler) {
+  std::vector<std::string> open_tags;
+  size_t i = 0;
+  const size_t n = input.size();
+  std::string pending_text;
+
+  auto flushText = [&]() {
+    if (!pending_text.empty() && !open_tags.empty() &&
+        !IsSpaceOnly(pending_text)) {
+      handler->OnValue(DecodeEntities(pending_text),
+                       static_cast<int>(open_tags.size()) + 1);
+    }
+    pending_text.clear();
+  };
+
+  while (i < n) {
+    if (input[i] != '<') {
+      pending_text.push_back(input[i++]);
+      continue;
+    }
+    // A markup construct starts here.
+    if (i + 1 >= n) return Status::ParseError("dangling '<' at end of input");
+    char next = input[i + 1];
+    if (next == '?') {  // XML declaration / processing instruction
+      size_t end = input.find("?>", i + 2);
+      if (end == std::string_view::npos) {
+        return Status::ParseError("unterminated processing instruction");
+      }
+      i = end + 2;
+      continue;
+    }
+    if (next == '!') {
+      if (input.substr(i, 4) == "<!--") {  // comment
+        size_t end = input.find("-->", i + 4);
+        if (end == std::string_view::npos) {
+          return Status::ParseError("unterminated comment");
+        }
+        i = end + 3;
+        continue;
+      }
+      if (input.substr(i, 9) == "<![CDATA[") {
+        size_t end = input.find("]]>", i + 9);
+        if (end == std::string_view::npos) {
+          return Status::ParseError("unterminated CDATA section");
+        }
+        pending_text.append(input.substr(i + 9, end - (i + 9)));
+        i = end + 3;
+        continue;
+      }
+      // DOCTYPE or other declaration: skip to matching '>'.
+      size_t end = input.find('>', i + 2);
+      if (end == std::string_view::npos) {
+        return Status::ParseError("unterminated '<!' declaration");
+      }
+      i = end + 1;
+      continue;
+    }
+    if (next == '/') {  // closing tag
+      flushText();
+      size_t j = i + 2;
+      size_t start = j;
+      while (j < n && IsNameChar(input[j])) ++j;
+      std::string tag(input.substr(start, j - start));
+      while (j < n && std::isspace(static_cast<unsigned char>(input[j]))) ++j;
+      if (j >= n || input[j] != '>') {
+        return Status::ParseError("malformed closing tag </" + tag);
+      }
+      if (open_tags.empty() || open_tags.back() != tag) {
+        return Status::ParseError(
+            "mismatched closing tag </" + tag + ">, expected </" +
+            (open_tags.empty() ? std::string("?") : open_tags.back()) + ">");
+      }
+      handler->OnClose(tag, static_cast<int>(open_tags.size()));
+      open_tags.pop_back();
+      i = j + 1;
+      continue;
+    }
+    // Opening tag.
+    if (!IsNameStart(next)) {
+      return Status::ParseError("invalid character after '<'");
+    }
+    flushText();
+    size_t j = i + 1;
+    size_t start = j;
+    while (j < n && IsNameChar(input[j])) ++j;
+    std::string tag(input.substr(start, j - start));
+    // Skip attributes (quoted values may contain '>').
+    bool self_closing = false;
+    while (j < n) {
+      char c = input[j];
+      if (c == '>') break;
+      if (c == '/' && j + 1 < n && input[j + 1] == '>') {
+        self_closing = true;
+        j += 1;
+        break;
+      }
+      if (c == '"' || c == '\'') {
+        size_t close = input.find(c, j + 1);
+        if (close == std::string_view::npos) {
+          return Status::ParseError("unterminated attribute value in <" + tag);
+        }
+        j = close + 1;
+        continue;
+      }
+      ++j;
+    }
+    if (j >= n || input[j] != '>') {
+      return Status::ParseError("unterminated opening tag <" + tag);
+    }
+    open_tags.push_back(tag);
+    handler->OnOpen(tag, static_cast<int>(open_tags.size()));
+    if (self_closing) {
+      handler->OnClose(tag, static_cast<int>(open_tags.size()));
+      open_tags.pop_back();
+    }
+    i = j + 1;
+  }
+  if (!open_tags.empty()) {
+    return Status::ParseError("unclosed element <" + open_tags.back() + ">");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Node>> SaxParser::ParseToDom(std::string_view input) {
+  DomBuilder builder;
+  CSXA_RETURN_NOT_OK(Parse(input, &builder));
+  if (builder.multiple_roots()) {
+    return Status::ParseError("document has multiple root elements");
+  }
+  std::unique_ptr<Node> root = builder.TakeRoot();
+  if (root == nullptr) {
+    return Status::ParseError("document has no root element");
+  }
+  return root;
+}
+
+}  // namespace csxa::xml

@@ -1,0 +1,82 @@
+#include "xml/serializer.h"
+
+namespace csxa::xml {
+
+std::string EscapeText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void SerializeInto(const Node& node, int indent, int level, std::string* out) {
+  auto pad = [&](int lvl) {
+    if (indent >= 0) out->append(static_cast<size_t>(indent) * lvl, ' ');
+  };
+  if (node.is_text()) {
+    pad(level);
+    out->append(EscapeText(node.value()));
+    if (indent >= 0) out->push_back('\n');
+    return;
+  }
+  pad(level);
+  out->push_back('<');
+  out->append(node.tag());
+  if (node.children().empty()) {
+    out->append("/>");
+    if (indent >= 0) out->push_back('\n');
+    return;
+  }
+  out->push_back('>');
+  if (indent >= 0) out->push_back('\n');
+  for (const auto& child : node.children()) {
+    SerializeInto(*child, indent, level + 1, out);
+  }
+  pad(level);
+  out->append("</");
+  out->append(node.tag());
+  out->push_back('>');
+  if (indent >= 0) out->push_back('\n');
+}
+
+}  // namespace
+
+std::string Serialize(const Node& node, int indent) {
+  std::string out;
+  SerializeInto(node, indent, 0, &out);
+  return out;
+}
+
+void SerializingHandler::OnOpen(const std::string& tag, int) {
+  out_.push_back('<');
+  out_.append(tag);
+  out_.push_back('>');
+}
+
+void SerializingHandler::OnValue(const std::string& value, int) {
+  out_.append(EscapeText(value));
+}
+
+void SerializingHandler::OnClose(const std::string& tag, int) {
+  out_.append("</");
+  out_.append(tag);
+  out_.push_back('>');
+}
+
+}  // namespace csxa::xml

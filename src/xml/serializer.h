@@ -1,0 +1,34 @@
+#ifndef CSXA_XML_SERIALIZER_H_
+#define CSXA_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/event.h"
+#include "xml/node.h"
+
+namespace csxa::xml {
+
+/// Serializes a DOM subtree back to XML text. Entities are escaped so that
+/// Serialize(Parse(x)) round-trips. `indent` < 0 produces compact output.
+std::string Serialize(const Node& node, int indent = -1);
+
+/// Escapes `<`, `>`, `&` in text content.
+std::string EscapeText(const std::string& text);
+
+/// EventHandler that serializes the event stream it receives; used to turn
+/// the streaming evaluator's authorized output back into XML text.
+class SerializingHandler : public EventHandler {
+ public:
+  void OnOpen(const std::string& tag, int depth) override;
+  void OnValue(const std::string& value, int depth) override;
+  void OnClose(const std::string& tag, int depth) override;
+
+  const std::string& output() const { return out_; }
+
+ private:
+  std::string out_;
+};
+
+}  // namespace csxa::xml
+
+#endif  // CSXA_XML_SERIALIZER_H_

@@ -1,0 +1,54 @@
+#include "xml/stats.h"
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "xml/serializer.h"
+
+namespace csxa::xml {
+
+namespace {
+
+void Walk(const Node& node, int depth, DocumentStats* stats,
+          std::unordered_set<std::string>* tags, size_t* depth_sum) {
+  if (node.is_text()) {
+    stats->text_nodes += 1;
+    stats->text_bytes += node.value().size();
+    return;
+  }
+  stats->elements += 1;
+  *depth_sum += static_cast<size_t>(depth);
+  if (depth > stats->max_depth) stats->max_depth = depth;
+  tags->insert(node.tag());
+  for (const auto& child : node.children()) {
+    Walk(*child, depth + 1, stats, tags, depth_sum);
+  }
+}
+
+}  // namespace
+
+DocumentStats ComputeStats(const Node& root) {
+  DocumentStats stats;
+  std::unordered_set<std::string> tags;
+  size_t depth_sum = 0;
+  Walk(root, 1, &stats, &tags, &depth_sum);
+  stats.distinct_tags = tags.size();
+  stats.size_bytes = Serialize(root).size();
+  stats.avg_depth = stats.elements == 0
+                        ? 0.0
+                        : static_cast<double>(depth_sum) /
+                              static_cast<double>(stats.elements);
+  return stats;
+}
+
+std::string DocumentStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "size=%zuB text=%zuB max_depth=%d avg_depth=%.1f tags=%zu "
+                "text_nodes=%zu elements=%zu",
+                size_bytes, text_bytes, max_depth, avg_depth, distinct_tags,
+                text_nodes, elements);
+  return buf;
+}
+
+}  // namespace csxa::xml

@@ -1,0 +1,133 @@
+#include "xpath/ast.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace csxa::xpath {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kExists:
+      return "";
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+namespace {
+
+bool ParseNumber(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+}  // namespace
+
+bool EvalCompare(CompareOp op, const std::string& node_value,
+                 const std::string& literal) {
+  double a = 0.0;
+  double b = 0.0;
+  int cmp;
+  if (ParseNumber(node_value, &a) && ParseNumber(literal, &b)) {
+    cmp = (a < b) ? -1 : (a > b) ? 1 : 0;
+  } else {
+    int c = node_value.compare(literal);
+    cmp = (c < 0) ? -1 : (c > 0) ? 1 : 0;
+  }
+  switch (op) {
+    case CompareOp::kExists:
+      return true;
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+std::string Step::ToString() const {
+  std::string out = wildcard ? "*" : name;
+  for (const Predicate& pred : predicates) out += pred.ToString();
+  return out;
+}
+
+std::string Predicate::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (i == 0) {
+      if (steps[i].axis == Axis::kDescendant) out += "//";
+    } else {
+      out += steps[i].axis == Axis::kDescendant ? "//" : "/";
+    }
+    out += steps[i].ToString();
+  }
+  if (op != CompareOp::kExists) {
+    out += CompareOpName(op);
+    out += literal;
+  }
+  out += "]";
+  return out;
+}
+
+std::string Path::ToString() const {
+  std::string out;
+  for (const Step& step : steps) {
+    out += step.axis == Axis::kDescendant ? "//" : "/";
+    out += step.ToString();
+  }
+  return out;
+}
+
+namespace {
+
+size_t CountPredicatesInSteps(const std::vector<Step>& steps) {
+  size_t count = 0;
+  for (const Step& step : steps) {
+    count += step.predicates.size();
+    for (const Predicate& pred : step.predicates) {
+      count += CountPredicatesInSteps(pred.steps);
+    }
+  }
+  return count;
+}
+
+bool UsesDescendantInSteps(const std::vector<Step>& steps) {
+  for (const Step& step : steps) {
+    if (step.axis == Axis::kDescendant) return true;
+    for (const Predicate& pred : step.predicates) {
+      if (UsesDescendantInSteps(pred.steps)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+size_t Path::CountPredicates() const {
+  return CountPredicatesInSteps(steps);
+}
+
+bool Path::UsesDescendantAxis() const { return UsesDescendantInSteps(steps); }
+
+}  // namespace csxa::xpath

@@ -1,0 +1,123 @@
+#include "xpath/containment.h"
+
+#include <memory>
+#include <vector>
+
+namespace csxa::xpath {
+
+namespace {
+
+/// Tree-pattern node. The navigational spine and all predicate paths of an
+/// XPath expression are flattened into one pattern tree.
+struct PatternNode {
+  std::string label;        // empty == wildcard
+  bool wildcard = false;
+  bool via_descendant = false;  // edge from parent is //
+  CompareOp op = CompareOp::kExists;
+  std::string literal;
+  bool is_output = false;   // last step of the navigational spine
+  std::vector<std::unique_ptr<PatternNode>> children;
+};
+
+PatternNode* AddSteps(PatternNode* parent,
+                      const std::vector<Step>& steps, bool mark_output);
+
+void AddPredicates(PatternNode* node, const Step& step) {
+  for (const Predicate& pred : step.predicates) {
+    PatternNode* leaf = AddSteps(node, pred.steps, /*mark_output=*/false);
+    leaf->op = pred.op;
+    leaf->literal = pred.literal;
+  }
+}
+
+PatternNode* AddSteps(PatternNode* parent,
+                      const std::vector<Step>& steps, bool mark_output) {
+  PatternNode* cur = parent;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    auto child = std::make_unique<PatternNode>();
+    child->label = steps[i].name;
+    child->wildcard = steps[i].wildcard;
+    child->via_descendant = steps[i].axis == Axis::kDescendant;
+    PatternNode* raw = child.get();
+    cur->children.push_back(std::move(child));
+    AddPredicates(raw, steps[i]);
+    cur = raw;
+  }
+  if (mark_output) cur->is_output = true;
+  return cur;
+}
+
+std::unique_ptr<PatternNode> BuildPattern(const Path& path) {
+  auto root = std::make_unique<PatternNode>();  // virtual document root
+  root->wildcard = true;
+  AddSteps(root.get(), path.steps, /*mark_output=*/true);
+  return root;
+}
+
+bool LabelCompatible(const PatternNode& p, const PatternNode& q) {
+  if (p.wildcard) return true;
+  return !q.wildcard && p.label == q.label;
+}
+
+/// A comparison constraint on p is satisfied by mapping onto q only if q
+/// carries an identical (or strictly implying) constraint. We require
+/// textual identity except that an existence constraint on p is implied by
+/// any constraint on q.
+bool ConstraintCompatible(const PatternNode& p, const PatternNode& q) {
+  if (p.op == CompareOp::kExists) return true;
+  return p.op == q.op && p.literal == q.literal;
+}
+
+bool MapsTo(const PatternNode& p, const PatternNode& q);
+
+/// Can pattern node `p` (with its whole subtree) map onto `q` or any
+/// descendant of `q`?
+bool MapsToDescendantOrSelf(const PatternNode& p, const PatternNode& q) {
+  if (MapsTo(p, q)) return true;
+  for (const auto& child : q.children) {
+    if (MapsToDescendantOrSelf(p, *child)) return true;
+  }
+  return false;
+}
+
+/// Homomorphism from p's subtree rooted at p onto q (p itself mapped to q).
+bool MapsTo(const PatternNode& p, const PatternNode& q) {
+  if (!LabelCompatible(p, q)) return false;
+  if (!ConstraintCompatible(p, q)) return false;
+  if (p.is_output && !q.is_output) return false;
+  for (const auto& pc : p.children) {
+    bool matched = false;
+    if (pc->via_descendant) {
+      // // edge: pc may map anywhere strictly below q.
+      for (const auto& qc : q.children) {
+        if (MapsToDescendantOrSelf(*pc, *qc)) {
+          matched = true;
+          break;
+        }
+      }
+    } else {
+      for (const auto& qc : q.children) {
+        if (MapsTo(*pc, *qc)) {
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Contains(const Path& outer, const Path& inner) {
+  auto p = BuildPattern(outer);
+  auto q = BuildPattern(inner);
+  return MapsTo(*p, *q);
+}
+
+bool Equivalent(const Path& a, const Path& b) {
+  return Contains(a, b) && Contains(b, a);
+}
+
+}  // namespace csxa::xpath

@@ -1,0 +1,26 @@
+#ifndef CSXA_XPATH_CONTAINMENT_H_
+#define CSXA_XPATH_CONTAINMENT_H_
+
+#include "xpath/ast.h"
+
+namespace csxa::xpath {
+
+/// Conservative containment test for XP{[],*,//}: returns true when `outer`
+/// is guaranteed to contain `inner` (every node selected by `inner` on any
+/// document is also selected by `outer`).
+///
+/// Containment for this fragment is co-NP complete [MiS02]; we implement the
+/// standard *homomorphism* sufficient condition: `outer` contains `inner`
+/// if there is a homomorphism from outer's tree pattern into inner's tree
+/// pattern (root to root, output to output, labels compatible, child edges
+/// onto child edges, descendant edges onto downward paths). A `false`
+/// answer therefore means "not provably contained". This is the static
+/// analysis Section 3.3 suggests for eliminating redundant rules.
+bool Contains(const Path& outer, const Path& inner);
+
+/// True when the homomorphism check proves both directions (equivalence).
+bool Equivalent(const Path& a, const Path& b);
+
+}  // namespace csxa::xpath
+
+#endif  // CSXA_XPATH_CONTAINMENT_H_

@@ -1,0 +1,214 @@
+#include "xpath/parser.h"
+
+#include <cctype>
+
+namespace csxa::xpath {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Path> ParseAbsolute() {
+    Path path;
+    SkipSpace();
+    if (!Peek('/')) {
+      return Status::InvalidArgument("XPath must start with '/' or '//'");
+    }
+    while (!AtEnd()) {
+      SkipSpace();
+      if (AtEnd()) break;
+      Axis axis;
+      if (!ParseAxis(&axis)) {
+        return Status::InvalidArgument(ErrorAt("expected '/' or '//'"));
+      }
+      Step step;
+      step.axis = axis;
+      CSXA_RETURN_NOT_OK(ParseStep(&step));
+      path.steps.push_back(std::move(step));
+      SkipSpace();
+      if (AtEnd()) break;
+      if (!Peek('/')) {
+        return Status::InvalidArgument(ErrorAt("unexpected trailing input"));
+      }
+    }
+    if (path.steps.empty()) {
+      return Status::InvalidArgument("empty XPath expression");
+    }
+    return path;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Cur() const { return text_[pos_]; }
+  bool Peek(char c) const { return pos_ < text_.size() && text_[pos_] == c; }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string ErrorAt(const std::string& what) const {
+    return what + " at offset " + std::to_string(pos_) + " in '" +
+           std::string(text_) + "'";
+  }
+
+  /// Parses '/' or '//' and reports which. Returns false if neither.
+  bool ParseAxis(Axis* axis) {
+    if (!Peek('/')) return false;
+    ++pos_;
+    if (Peek('/')) {
+      ++pos_;
+      *axis = Axis::kDescendant;
+    } else {
+      *axis = Axis::kChild;
+    }
+    return true;
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  }
+
+  Status ParseStep(Step* step) {
+    SkipSpace();
+    if (AtEnd()) {
+      return Status::InvalidArgument(ErrorAt("expected node test"));
+    }
+    if (Peek('*')) {
+      step->wildcard = true;
+      ++pos_;
+    } else {
+      size_t start = pos_;
+      while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+      if (pos_ == start) {
+        return Status::InvalidArgument(ErrorAt("expected element name or '*'"));
+      }
+      step->name = std::string(text_.substr(start, pos_ - start));
+    }
+    SkipSpace();
+    while (Peek('[')) {
+      Predicate pred;
+      CSXA_RETURN_NOT_OK(ParsePredicate(&pred));
+      step->predicates.push_back(std::move(pred));
+      SkipSpace();
+    }
+    return Status::OK();
+  }
+
+  Status ParsePredicate(Predicate* pred) {
+    ++pos_;  // consume '['
+    SkipSpace();
+    // Relative path: optional leading '//', then steps.
+    Axis axis = Axis::kChild;
+    if (Peek('/')) {
+      Axis parsed;
+      if (!ParseAxis(&parsed) || parsed != Axis::kDescendant) {
+        return Status::InvalidArgument(
+            ErrorAt("predicate path may start with '//' but not '/'"));
+      }
+      axis = Axis::kDescendant;
+    }
+    while (true) {
+      Step step;
+      step.axis = axis;
+      CSXA_RETURN_NOT_OK(ParseStep(&step));
+      pred->steps.push_back(std::move(step));
+      SkipSpace();
+      if (!Peek('/')) break;
+      if (!ParseAxis(&axis)) {
+        return Status::InvalidArgument(ErrorAt("expected '/' or '//'"));
+      }
+    }
+    SkipSpace();
+    // Optional comparison.
+    if (!AtEnd() && Cur() != ']') {
+      CSXA_RETURN_NOT_OK(ParseCompare(pred));
+      SkipSpace();
+    }
+    if (!Peek(']')) {
+      return Status::InvalidArgument(ErrorAt("expected ']'"));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ParseCompare(Predicate* pred) {
+    if (Peek('=')) {
+      pred->op = CompareOp::kEq;
+      ++pos_;
+    } else if (Peek('!')) {
+      ++pos_;
+      if (!Peek('=')) {
+        return Status::InvalidArgument(ErrorAt("expected '=' after '!'"));
+      }
+      ++pos_;
+      pred->op = CompareOp::kNe;
+    } else if (Peek('<')) {
+      ++pos_;
+      if (Peek('=')) {
+        ++pos_;
+        pred->op = CompareOp::kLe;
+      } else {
+        pred->op = CompareOp::kLt;
+      }
+    } else if (Peek('>')) {
+      ++pos_;
+      if (Peek('=')) {
+        ++pos_;
+        pred->op = CompareOp::kGe;
+      } else {
+        pred->op = CompareOp::kGt;
+      }
+    } else {
+      return Status::InvalidArgument(ErrorAt("expected comparison operator"));
+    }
+    SkipSpace();
+    return ParseLiteral(&pred->literal);
+  }
+
+  Status ParseLiteral(std::string* out) {
+    if (AtEnd()) {
+      return Status::InvalidArgument(ErrorAt("expected literal"));
+    }
+    char c = Cur();
+    if (c == '"' || c == '\'') {
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != c) ++pos_;
+      if (AtEnd()) {
+        return Status::InvalidArgument(ErrorAt("unterminated string literal"));
+      }
+      *out = std::string(text_.substr(start, pos_ - start));
+      ++pos_;
+      return Status::OK();
+    }
+    // Bare word / number: read until ']' or whitespace.
+    size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ']' &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument(ErrorAt("expected literal"));
+    }
+    *out = std::string(text_.substr(start, pos_ - start));
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Path> ParsePath(std::string_view text) {
+  Parser parser(text);
+  return parser.ParseAbsolute();
+}
+
+}  // namespace csxa::xpath

@@ -1,0 +1,28 @@
+#ifndef CSXA_XPATH_PARSER_H_
+#define CSXA_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+
+namespace csxa::xpath {
+
+/// Recursive-descent parser for the XP{[],*,//} fragment used by access
+/// rules and queries (Section 2 of the paper):
+///
+///   path      := ('/' | '//') step ( ('/' | '//') step )*
+///   step      := (NAME | '*') predicate*
+///   predicate := '[' relpath ( op literal )? ']'
+///   relpath   := '//'? step ( ('/' | '//') step )*
+///   op        := '=' | '!=' | '<' | '<=' | '>' | '>='
+///   literal   := NUMBER | '"'...'"' | '\''...'\'' | bare-word
+///
+/// Bare-word literals match the paper's notation (`[Type=G3]`,
+/// `[RPhys != USER]`). Nested predicates inside predicate paths are
+/// accepted (they are part of the fragment).
+Result<Path> ParsePath(std::string_view text);
+
+}  // namespace csxa::xpath
+
+#endif  // CSXA_XPATH_PARSER_H_
