@@ -1,0 +1,115 @@
+#include "access/access_rule.h"
+
+#include <algorithm>
+
+#include "xpath/containment.h"
+#include "xpath/parser.h"
+
+namespace csxa::access {
+
+const char* SignName(Sign sign) {
+  return sign == Sign::kPermit ? "+" : "-";
+}
+
+std::string AccessRule::ToString() const {
+  std::string out = SignName(sign);
+  out.push_back(' ');
+  if (!subject.empty()) {
+    out += subject;
+    out += ": ";
+  }
+  out += path.ToString();
+  return out;
+}
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+Result<AccessRule> ParseRule(std::string_view text) {
+  std::string_view s = Trim(text);
+  if (s.empty()) return Status::InvalidArgument("empty access rule");
+  AccessRule rule;
+  if (s.front() == '+') {
+    rule.sign = Sign::kPermit;
+  } else if (s.front() == '-') {
+    rule.sign = Sign::kDeny;
+  } else {
+    return Status::InvalidArgument("access rule must start with '+' or '-': " +
+                                   std::string(text));
+  }
+  s = Trim(s.substr(1));
+  // A ':' before the first '/' separates the subject from the path.
+  size_t slash = s.find('/');
+  size_t colon = s.find(':');
+  if (colon != std::string_view::npos &&
+      (slash == std::string_view::npos || colon < slash)) {
+    rule.subject = std::string(Trim(s.substr(0, colon)));
+    s = Trim(s.substr(colon + 1));
+  }
+  CSXA_ASSIGN_OR_RETURN(rule.path, xpath::ParsePath(s));
+  return rule;
+}
+
+Result<std::vector<AccessRule>> ParseRuleList(std::string_view text) {
+  std::vector<AccessRule> rules;
+  while (!text.empty()) {
+    size_t nl = text.find('\n');
+    std::string_view line =
+        nl == std::string_view::npos ? text : text.substr(0, nl);
+    text = nl == std::string_view::npos ? std::string_view()
+                                        : text.substr(nl + 1);
+    line = Trim(line);
+    if (line.empty() || line.front() == '#') continue;
+    CSXA_ASSIGN_OR_RETURN(AccessRule rule, ParseRule(line));
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+std::vector<AccessRule> RulesForSubject(const std::vector<AccessRule>& rules,
+                                        const std::string& subject) {
+  std::vector<AccessRule> out;
+  for (const AccessRule& r : rules) {
+    if (r.subject.empty() || r.subject == subject) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<AccessRule> EliminateRedundantRules(std::vector<AccessRule> rules) {
+  std::vector<bool> dropped(rules.size(), false);
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (dropped[i]) continue;
+    for (size_t j = 0; j < rules.size(); ++j) {
+      if (i == j || dropped[j]) continue;
+      if (rules[i].sign != rules[j].sign ||
+          rules[i].subject != rules[j].subject) {
+        continue;
+      }
+      // Keep the earlier rule when both contain each other (equivalence).
+      if (xpath::Contains(rules[i].path, rules[j].path) &&
+          !(j < i && xpath::Contains(rules[j].path, rules[i].path))) {
+        dropped[j] = true;
+      }
+    }
+  }
+  std::vector<AccessRule> out;
+  out.reserve(rules.size());
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (!dropped[i]) out.push_back(std::move(rules[i]));
+  }
+  return out;
+}
+
+}  // namespace csxa::access

@@ -1,0 +1,69 @@
+#ifndef CSXA_ACCESS_ACCESS_RULE_H_
+#define CSXA_ACCESS_ACCESS_RULE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+
+namespace csxa::access {
+
+/// Sign of an access rule (Section 3.1): positive rules grant, negative
+/// rules deny.
+enum class Sign {
+  kPermit,
+  kDeny,
+};
+
+const char* SignName(Sign sign);
+
+/// One access rule of the paper's model: a signed XPath expression in
+/// XP{[],*,//} attached to a subject (user, role or user group). A rule
+/// applies to every node its expression selects and propagates to the
+/// subtrees of those nodes.
+struct AccessRule {
+  Sign sign = Sign::kDeny;
+  std::string subject;  ///< Empty = applies to every subject.
+  xpath::Path path;
+
+  /// "+ subject: /a//b" (subject omitted when empty).
+  std::string ToString() const;
+};
+
+/// Parses one rule from the textual form used by rule files and tests:
+///
+///   rule    := sign [ subject ':' ] path
+///   sign    := '+' | '-'
+///
+/// e.g. `+ doctor: /Folder//MedActs` or `- /Folder/Admin`.
+Result<AccessRule> ParseRule(std::string_view text);
+
+/// Parses a newline-separated rule list; '#' starts a comment line.
+Result<std::vector<AccessRule>> ParseRuleList(std::string_view text);
+
+/// Rules applicable to `subject`: rules with a matching subject plus rules
+/// with no subject.
+std::vector<AccessRule> RulesForSubject(const std::vector<AccessRule>& rules,
+                                        const std::string& subject);
+
+/// Static rule-set minimization (Section 3.3): drops every rule whose
+/// expression is provably contained (xpath::Contains) in the expression of
+/// another rule with the same sign and subject.
+///
+/// Soundness: specificity in the conflict-resolution policy is measured by
+/// the *depth of the target node*, not by the shape of the rule. If
+/// Contains(outer, inner) then every node targeted by `inner` is also
+/// targeted by `outer` — at the same node, hence at the same specificity
+/// and with the same sign — so removing `inner` can never change a
+/// decision, whatever other rules exist.
+///
+/// Containment is tested with the conservative homomorphism check, so this
+/// only removes rules whose redundancy is provable. Mutually contained
+/// (equivalent) rules keep the earliest occurrence.
+std::vector<AccessRule> EliminateRedundantRules(std::vector<AccessRule> rules);
+
+}  // namespace csxa::access
+
+#endif  // CSXA_ACCESS_ACCESS_RULE_H_

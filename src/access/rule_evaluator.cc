@@ -1,0 +1,506 @@
+#include "access/rule_evaluator.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace csxa::access {
+
+namespace internal {
+
+PathMatcher::PathMatcher(const std::vector<xpath::Step>* steps, int base_depth)
+    : steps_(steps), base_depth_(base_depth) {
+  Frame root;
+  TokenState init;
+  if (!steps_->empty() && (*steps_)[0].axis == xpath::Axis::kDescendant) {
+    root.desc.push_back(std::move(init));
+  } else {
+    root.exact.push_back(std::move(init));
+  }
+  stack_.push_back(std::move(root));
+}
+
+void PathMatcher::OnOpen(const std::string& tag, int depth,
+                         RuleEvaluatorContext* ctx,
+                         std::vector<CondSet>* full_matches) {
+  // Self-align on the context node: events at or above base_depth_ (or
+  // out of step with the frames) are outside this matcher's subtree.
+  if (depth != base_depth_ + static_cast<int>(stack_.size())) return;
+  const Frame& top = stack_.back();
+  Frame next;
+  // Tokens stay alive below a descendant-axis step for the whole subtree.
+  next.desc = top.desc;
+
+  auto advance = [&](const TokenState& t) {
+    const xpath::Step& step = (*steps_)[t.next_step];
+    if (!step.Matches(tag)) return;
+    TokenState adv;
+    adv.next_step = t.next_step + 1;
+    adv.conds = t.conds;
+    for (const xpath::Predicate& pred : step.predicates) {
+      adv.conds.push_back(ctx->Spawn(&pred, depth));
+    }
+    if (adv.next_step == steps_->size()) {
+      full_matches->push_back(std::move(adv.conds));
+      return;
+    }
+    // Each token lives in exactly one set: `exact` feeds child-axis
+    // advancement at the next level only, `desc` survives down the
+    // whole subtree.
+    if ((*steps_)[adv.next_step].axis == xpath::Axis::kDescendant) {
+      next.desc.push_back(std::move(adv));
+    } else {
+      next.exact.push_back(std::move(adv));
+    }
+  };
+
+  // Child-axis continuations only extend paths that end exactly at the
+  // parent; descendant-axis continuations fire from any ancestor.
+  for (const TokenState& t : top.exact) {
+    if ((*steps_)[t.next_step].axis == xpath::Axis::kChild) advance(t);
+  }
+  for (const TokenState& t : top.desc) advance(t);
+
+  stack_.push_back(std::move(next));
+}
+
+void PathMatcher::OnClose(int depth) {
+  if (stack_.size() > 1 &&
+      depth == base_depth_ + static_cast<int>(stack_.size()) - 1) {
+    stack_.pop_back();
+  }
+}
+
+}  // namespace internal
+
+using internal::CondSet;
+using internal::PredInstance;
+
+// ---------------------------------------------------------------------------
+// Evaluator internals
+// ---------------------------------------------------------------------------
+
+struct RuleEvaluator::NodeRec {
+  /// A rule targeting this node or one of its ancestors (propagation).
+  struct Hit {
+    const AccessRule* rule = nullptr;
+    int target_depth = 0;  ///< Depth of the target node = specificity.
+    CondSet conds;         ///< Pending predicates the match traversed.
+  };
+
+  int depth = 0;
+  std::shared_ptr<NodeRec> parent;
+  /// Hits whose target is this very node; Decide() walks the parent chain
+  /// for the inherited (propagated) ones.
+  std::vector<Hit> hits;
+
+  bool closed = false;
+  size_t open_qpos = 0;
+  size_t close_qpos = 0;  ///< Valid once closed.
+
+  enum class OpenState { kUndecided, kEmit, kDrop };
+  OpenState open_state = OpenState::kUndecided;
+};
+
+struct RuleEvaluator::OutEvent {
+  enum class S { kUndecided, kEmit, kDrop };
+  xml::Event ev;
+  int depth = 0;
+  S status = S::kUndecided;
+  /// Open/close: the element itself. Value: the parent element.
+  std::shared_ptr<NodeRec> node;
+};
+
+RuleEvaluator::RuleEvaluator(std::vector<AccessRule> rules,
+                             xml::EventHandler* out)
+    : rules_(std::move(rules)), out_(out) {
+  matchers_.reserve(rules_.size());
+  for (const AccessRule& r : rules_) {
+    matchers_.push_back(std::make_unique<internal::PathMatcher>(&r.path.steps,
+                                                                /*base=*/0));
+  }
+}
+
+RuleEvaluator::~RuleEvaluator() = default;
+
+std::shared_ptr<PredInstance> RuleEvaluator::Spawn(const xpath::Predicate* pred,
+                                                   int depth) {
+  // Several tokens crossing the same predicated step during one open event
+  // share one instance (the predicate is relative to the same node).
+  for (const auto& [memo_pred, inst] : spawn_memo_) {
+    if (memo_pred == pred) return inst;
+  }
+  auto inst = std::make_shared<PredInstance>(pred, depth);
+  instances_.push_back(inst);
+  spawn_memo_.emplace_back(pred, inst);
+  ++stats_.predicates_spawned;
+  return inst;
+}
+
+RuleEvaluator::OutEvent& RuleEvaluator::EventAt(size_t qpos) {
+  return queue_[qpos - queue_base_];
+}
+
+namespace {
+
+/// Applicability of a hit / candidate given its pending-predicate set.
+enum class CondState { kTrue, kFalse, kPending };
+
+CondState EvalConds(const CondSet& conds) {
+  CondState st = CondState::kTrue;
+  for (const auto& c : conds) {
+    if (c->state == PredInstance::State::kFalse) return CondState::kFalse;
+    if (c->state == PredInstance::State::kPending) st = CondState::kPending;
+  }
+  return st;
+}
+
+}  // namespace
+
+Decision RuleEvaluator::Decide(const NodeRec& node) const {
+  // Applicable hits are the node's own plus every ancestor's
+  // (propagation), reached by walking the parent chain rather than copying
+  // hit vectors into each node.
+  //
+  // Most specific target takes precedence: walk distinct target depths
+  // from the deepest. At one depth: a resolved denial wins (denial takes
+  // precedence); a resolved permission wins unless a pending denial at the
+  // same depth could still override it; any other pending hit leaves the
+  // whole decision open. A depth whose hits all turned false is skipped.
+  std::vector<int> depths;
+  for (const NodeRec* n = &node; n != nullptr; n = n->parent.get()) {
+    for (const auto& h : n->hits) depths.push_back(h.target_depth);
+  }
+  std::sort(depths.rbegin(), depths.rend());
+  depths.erase(std::unique(depths.begin(), depths.end()), depths.end());
+
+  for (int level : depths) {
+    bool resolved_neg = false, resolved_pos = false;
+    bool pending = false, pending_neg = false;
+    for (const NodeRec* n = &node; n != nullptr; n = n->parent.get()) {
+      for (const auto& h : n->hits) {
+        if (h.target_depth != level) continue;
+        switch (EvalConds(h.conds)) {
+          case CondState::kFalse:
+            break;
+          case CondState::kTrue:
+            (h.rule->sign == Sign::kDeny ? resolved_neg : resolved_pos) =
+                true;
+            break;
+          case CondState::kPending:
+            pending = true;
+            if (h.rule->sign == Sign::kDeny) pending_neg = true;
+            break;
+        }
+      }
+    }
+    if (resolved_neg) return Decision::kDeny;
+    if (resolved_pos) {
+      return pending_neg ? Decision::kPending : Decision::kPermit;
+    }
+    if (pending) return Decision::kPending;
+  }
+  return Decision::kDeny;  // Closed-world default.
+}
+
+void RuleEvaluator::ForceEmit(NodeRec* node) {
+  // Ancestors of a permitted node stay visible (tags only) to preserve the
+  // structure of the authorized view.
+  while (node != nullptr &&
+         node->open_state != NodeRec::OpenState::kEmit) {
+    node->open_state = NodeRec::OpenState::kEmit;
+    EventAt(node->open_qpos).status = OutEvent::S::kEmit;
+    if (node->closed) EventAt(node->close_qpos).status = OutEvent::S::kEmit;
+    node = node->parent.get();
+  }
+}
+
+bool RuleEvaluator::SubtreeDecided(const NodeRec& node) const {
+  for (size_t q = node.open_qpos + 1; q < node.close_qpos; ++q) {
+    if (queue_[q - queue_base_].status == OutEvent::S::kUndecided) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool RuleEvaluator::SettleCandidates() {
+  // Pending-predicate fixpoint: an instance turns true as soon as one of
+  // its match candidates has all nested conditions true.
+  bool any = false;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& inst : instances_) {
+      if (inst->state != PredInstance::State::kPending) continue;
+      auto& cands = inst->candidates;
+      for (auto it = cands.begin(); it != cands.end();) {
+        CondState st = EvalConds(*it);
+        if (st == CondState::kTrue) {
+          inst->state = PredInstance::State::kTrue;
+          any = changed = true;
+          break;
+        }
+        it = st == CondState::kFalse ? cands.erase(it) : ++it;
+      }
+    }
+  }
+  return any;
+}
+
+bool RuleEvaluator::ResolveEvent(OutEvent& e) {
+  if (e.status != OutEvent::S::kUndecided) return false;
+  switch (e.ev.kind) {
+    case xml::EventKind::kValue: {
+      // Text is disclosed iff its parent element is permitted; denied
+      // ancestors of permitted nodes expose tags, never text.
+      Decision d = e.node ? Decide(*e.node) : Decision::kDeny;
+      if (d == Decision::kPermit) {
+        e.status = OutEvent::S::kEmit;
+        return true;
+      }
+      if (d == Decision::kDeny) {
+        e.status = OutEvent::S::kDrop;
+        return true;
+      }
+      return false;
+    }
+    case xml::EventKind::kOpen: {
+      Decision d = Decide(*e.node);
+      if (d == Decision::kPermit) {
+        ForceEmit(e.node.get());
+        return true;
+      }
+      if (d == Decision::kDeny && e.node->closed &&
+          SubtreeDecided(*e.node)) {
+        // Fully decided subtree with nothing emitted: prune the element
+        // altogether.
+        e.node->open_state = NodeRec::OpenState::kDrop;
+        e.status = OutEvent::S::kDrop;
+        EventAt(e.node->close_qpos).status = OutEvent::S::kDrop;
+        return true;
+      }
+      return false;
+    }
+    case xml::EventKind::kClose: {
+      if (e.node->open_state == NodeRec::OpenState::kEmit) {
+        e.status = OutEvent::S::kEmit;
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+void RuleEvaluator::Resolve() {
+  if (SettleCandidates()) instances_dirty_ = true;
+
+  if (!instances_dirty_) {
+    // No predicate changed state, so no earlier event's decision can have
+    // changed: only the newly queued event needs a look — plus, when it is
+    // a close, the matching open: a denied element becomes prunable
+    // exactly when it closes, and that check lives on its open event.
+    // This keeps long pending stretches linear instead of rescanning the
+    // queue per event.
+    if (!queue_.empty()) {
+      OutEvent& last = queue_.back();
+      if (last.ev.kind == xml::EventKind::kClose &&
+          last.node->open_state == NodeRec::OpenState::kUndecided) {
+        ResolveEvent(EventAt(last.node->open_qpos));
+      }
+      ResolveEvent(last);
+    }
+    return;
+  }
+  instances_dirty_ = false;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    if (SettleCandidates()) changed = true;
+    for (size_t q = queue_base_; q < queue_base_ + queue_.size(); ++q) {
+      if (ResolveEvent(EventAt(q))) changed = true;
+    }
+  }
+}
+
+void RuleEvaluator::Flush() {
+  stats_.peak_buffered = std::max(stats_.peak_buffered, queue_.size());
+  while (!queue_.empty() &&
+         queue_.front().status != OutEvent::S::kUndecided) {
+    OutEvent& e = queue_.front();
+    if (e.status == OutEvent::S::kEmit) {
+      ++stats_.events_emitted;
+      switch (e.ev.kind) {
+        case xml::EventKind::kOpen:
+          out_->OnOpen(e.ev.text, e.depth);
+          break;
+        case xml::EventKind::kValue:
+          out_->OnValue(e.ev.text, e.depth);
+          break;
+        case xml::EventKind::kClose:
+          out_->OnClose(e.ev.text, e.depth);
+          break;
+      }
+    } else {
+      ++stats_.events_pruned;
+    }
+    queue_.pop_front();
+    ++queue_base_;
+  }
+}
+
+void RuleEvaluator::OnOpen(const std::string& tag, int depth) {
+  ++stats_.events_in;
+  spawn_memo_.clear();
+
+  // 1. Pending predicates watch the subtree of the element they decorate.
+  //    Instances spawned during this very event have root_depth == depth
+  //    and are skipped by the guard.
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    auto inst = instances_[i];
+    if (inst->state != PredInstance::State::kPending) continue;
+    if (depth <= inst->root_depth) continue;
+    std::vector<CondSet> fulls;
+    inst->matcher.OnOpen(tag, depth, this, &fulls);
+    for (CondSet& conds : fulls) {
+      if (inst->pred->op == xpath::CompareOp::kExists) {
+        if (EvalConds(conds) == CondState::kTrue) {
+          inst->state = PredInstance::State::kTrue;
+          instances_dirty_ = true;
+        } else {
+          inst->candidates.push_back(std::move(conds));
+        }
+      } else {
+        // Comparison predicates need the node's string value, complete
+        // only when the node closes.
+        inst->collections.push_back({depth, std::string(), std::move(conds)});
+      }
+    }
+  }
+
+  // 2. Rule automata.
+  std::vector<NodeRec::Hit> own_hits;
+  for (size_t r = 0; r < rules_.size(); ++r) {
+    std::vector<CondSet> fulls;
+    matchers_[r]->OnOpen(tag, depth, this, &fulls);
+    for (CondSet& conds : fulls) {
+      own_hits.push_back({&rules_[r], depth, std::move(conds)});
+      ++stats_.rule_hits;
+    }
+  }
+
+  // 3. Node record. Only hits targeting this node are stored; Decide()
+  //    reaches the propagated ones through the parent chain.
+  auto node = std::make_shared<NodeRec>();
+  node->depth = depth;
+  node->parent = element_stack_.empty() ? nullptr : element_stack_.back();
+  node->hits = std::move(own_hits);
+  node->open_qpos = queue_base_ + queue_.size();
+  element_stack_.push_back(node);
+  queue_.push_back({xml::Event::Open(tag), depth, OutEvent::S::kUndecided,
+                    std::move(node)});
+
+  Resolve();
+  Flush();
+}
+
+void RuleEvaluator::OnValue(const std::string& value, int depth) {
+  ++stats_.events_in;
+
+  // Feed string-value collections of pending comparison predicates.
+  for (auto& inst : instances_) {
+    if (inst->state != PredInstance::State::kPending) continue;
+    for (auto& coll : inst->collections) {
+      if (depth > coll.node_depth) coll.value += value;
+    }
+  }
+
+  std::shared_ptr<NodeRec> parent =
+      element_stack_.empty() ? nullptr : element_stack_.back();
+  queue_.push_back({xml::Event::Value(value), depth, OutEvent::S::kUndecided,
+                    std::move(parent)});
+
+  Resolve();
+  Flush();
+}
+
+void RuleEvaluator::OnClose(const std::string& tag, int depth) {
+  ++stats_.events_in;
+  if (element_stack_.empty()) return;  // Malformed stream; Finish() reports.
+
+  // 1. Predicate lifecycle at this close: finish value collections of
+  //    nodes closing now, pop matcher frames, and resolve instances whose
+  //    root closes (no satisfying match by now means false).
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    auto inst = instances_[i];
+    if (inst->state != PredInstance::State::kPending) continue;
+    if (depth > inst->root_depth) {
+      inst->matcher.OnClose(depth);
+      auto& colls = inst->collections;
+      for (auto it = colls.begin(); it != colls.end();) {
+        if (it->node_depth != depth) {
+          ++it;
+          continue;
+        }
+        if (xpath::EvalCompare(inst->pred->op, it->value,
+                               inst->pred->literal)) {
+          if (EvalConds(it->conds) == CondState::kTrue) {
+            inst->state = PredInstance::State::kTrue;
+            instances_dirty_ = true;
+          } else {
+            inst->candidates.push_back(std::move(it->conds));
+          }
+        }
+        it = colls.erase(it);
+      }
+    }
+  }
+
+  for (auto& matcher : matchers_) matcher->OnClose(depth);
+
+  // Give nested resolutions a chance to settle candidates before roots
+  // closing at this depth are forced false (no satisfying match by now
+  // means the predicate failed).
+  if (SettleCandidates()) instances_dirty_ = true;
+  for (auto& inst : instances_) {
+    if (inst->state != PredInstance::State::kPending) continue;
+    if (inst->root_depth == depth) {
+      inst->state = PredInstance::State::kFalse;
+      instances_dirty_ = true;
+    }
+  }
+
+  // 2. Close the element.
+  std::shared_ptr<NodeRec> node = element_stack_.back();
+  element_stack_.pop_back();
+  node->closed = true;
+  node->close_qpos = queue_base_ + queue_.size();
+  queue_.push_back({xml::Event::Close(tag), depth, OutEvent::S::kUndecided,
+                    node});
+
+  Resolve();
+  Flush();
+
+  // Drop settled instances (hits keep their own shared_ptr references).
+  instances_.erase(
+      std::remove_if(instances_.begin(), instances_.end(),
+                     [](const auto& inst) {
+                       return inst->state != PredInstance::State::kPending;
+                     }),
+      instances_.end());
+}
+
+Status RuleEvaluator::Finish() {
+  if (!element_stack_.empty()) {
+    return Status::Internal("event stream ended with open elements");
+  }
+  Resolve();
+  Flush();
+  if (!queue_.empty()) {
+    return Status::Internal("unresolved events buffered at end of stream");
+  }
+  return Status::OK();
+}
+
+}  // namespace csxa::access

@@ -1,0 +1,195 @@
+#ifndef CSXA_ACCESS_RULE_EVALUATOR_H_
+#define CSXA_ACCESS_RULE_EVALUATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "access/access_rule.h"
+#include "common/status.h"
+#include "xml/event.h"
+#include "xpath/ast.h"
+
+namespace csxa::access {
+
+/// Tri-valued node authorization while predicates are undecided.
+enum class Decision {
+  kDeny,
+  kPermit,
+  kPending,
+};
+
+namespace internal {
+
+struct PredInstance;
+
+/// Interface the matchers use to instantiate pending predicates.
+class RuleEvaluatorContext {
+ public:
+  virtual ~RuleEvaluatorContext() = default;
+  virtual std::shared_ptr<PredInstance> Spawn(const xpath::Predicate* pred,
+                                              int depth) = 0;
+};
+
+/// Streaming evaluation of one predicate, rooted at the element whose step
+/// carried it (Section 4.2: a predicate cannot in general be decided when
+/// the element is met; its evaluation stays *pending* until a matching
+/// value arrives or the subtree closes).
+///
+/// Condition attached to a token or a rule hit: the conjunction of the
+/// pending predicate instances it traversed.
+using CondSet = std::vector<std::shared_ptr<PredInstance>>;
+
+/// One token of a rule (or predicate-path) automaton: `next_step` steps
+/// already matched, under the conditions in `conds`.
+struct TokenState {
+  size_t next_step = 0;
+  CondSet conds;
+};
+
+/// Nondeterministic automaton matching one step sequence of the
+/// XP{[],*,//} fragment against the event stream — the paper's
+/// one-automaton-per-rule construction. Descendant steps keep tokens alive
+/// down the subtree; each open event advances tokens; each full match is
+/// reported with the conditions accumulated from predicates.
+class PathMatcher {
+ public:
+  /// `steps` must outlive the matcher. `base_depth` is the depth of the
+  /// context node: 0 for absolute rule paths, the predicated element's
+  /// depth for predicate paths.
+  PathMatcher(const std::vector<xpath::Step>* steps, int base_depth);
+
+  /// Advances tokens over `<tag>`. Events that are not the next well-nested
+  /// open/close below base_depth (e.g. at or above the context node) are
+  /// ignored, so the matcher stays aligned by itself. Full matches (the
+  /// opened element is a target) are appended to `full_matches`; predicates
+  /// traversed en route are instantiated through `ctx`.
+  void OnOpen(const std::string& tag, int depth, RuleEvaluatorContext* ctx,
+              std::vector<CondSet>* full_matches);
+  void OnClose(int depth);
+
+ private:
+  const std::vector<xpath::Step>* steps_;
+  int base_depth_;
+  struct Frame {
+    std::vector<TokenState> exact;  ///< Prefix matched ending at this node.
+    std::vector<TokenState> desc;   ///< Waiting on a descendant-axis match.
+  };
+  std::vector<Frame> stack_;  ///< stack_[0] = virtual context node.
+};
+
+struct PredInstance {
+  enum class State { kPending, kTrue, kFalse };
+
+  const xpath::Predicate* pred = nullptr;
+  int root_depth = 0;  ///< Depth of the element the predicate decorates.
+  State state = State::kPending;
+  PathMatcher matcher;
+
+  /// A full match of the predicate path whose own (nested) conditions are
+  /// not yet resolved; the instance turns true when any candidate's
+  /// conditions all come true.
+  std::vector<CondSet> candidates;
+
+  /// Accumulates the string value of a matched node until it closes, for
+  /// comparison predicates (`[Type = G3]`).
+  struct Collection {
+    int node_depth = 0;
+    std::string value;
+    CondSet conds;
+  };
+  std::vector<Collection> collections;
+
+  PredInstance(const xpath::Predicate* p, int depth)
+      : pred(p), root_depth(depth), matcher(&p->steps, depth) {}
+};
+
+}  // namespace internal
+
+/// Streaming access-control evaluator — the paper's core component
+/// (Section 4.2). Consumes the SAX event stream of a document, runs one
+/// token automaton per rule, and forwards to `out` exactly the events of
+/// the authorized pruned view:
+///
+///  - A rule applies to every node its expression selects and propagates
+///    to the node's subtree.
+///  - Conflicts resolve most-specific-target-first (the rule whose target
+///    node is deepest on the path wins); at equal specificity denial takes
+///    precedence; nodes reached by no rule are denied (closed world).
+///  - The authorized view keeps every permitted node, plus the *tags* of
+///    denied ancestors of permitted nodes (structure preservation); text
+///    of denied elements is never disclosed.
+///
+/// Events whose authorization hinges on an undecided predicate are
+/// buffered (the paper's *pending* parts) and released — in document
+/// order — as soon as the predicates resolve, at the latest when the
+/// enclosing subtree closes. Output order is always document order.
+class RuleEvaluator : public xml::EventHandler,
+                      private internal::RuleEvaluatorContext {
+ public:
+  /// `rules` is the rule set already selected for the requesting subject
+  /// (see RulesForSubject); `out` receives the authorized view.
+  RuleEvaluator(std::vector<AccessRule> rules, xml::EventHandler* out);
+  ~RuleEvaluator() override;
+
+  void OnOpen(const std::string& tag, int depth) override;
+  void OnValue(const std::string& value, int depth) override;
+  void OnClose(const std::string& tag, int depth) override;
+
+  /// Must be called after the last event: verifies every buffered event
+  /// was resolved and flushed (it is, for any well-nested stream).
+  Status Finish();
+
+  struct Stats {
+    uint64_t events_in = 0;
+    uint64_t events_emitted = 0;
+    uint64_t events_pruned = 0;
+    uint64_t rule_hits = 0;           ///< Full rule matches (targets found).
+    uint64_t predicates_spawned = 0;  ///< Pending predicate instances.
+    size_t peak_buffered = 0;         ///< Max events held back at once.
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct NodeRec;
+  struct OutEvent;
+
+  // internal::RuleEvaluatorContext
+  std::shared_ptr<internal::PredInstance> Spawn(const xpath::Predicate* pred,
+                                                int depth) override;
+
+  Decision Decide(const NodeRec& node) const;
+  bool SettleCandidates();          ///< Predicate-candidate fixpoint.
+  bool ResolveEvent(OutEvent& e);   ///< Decides one buffered event if possible.
+  void Resolve();      ///< Propagates predicate resolutions to statuses.
+  void Flush();        ///< Emits/drops the decided queue prefix.
+  void ForceEmit(NodeRec* node);
+  bool SubtreeDecided(const NodeRec& node) const;
+  OutEvent& EventAt(size_t qpos);
+
+  std::vector<AccessRule> rules_;
+  xml::EventHandler* out_;
+
+  std::vector<std::unique_ptr<internal::PathMatcher>> matchers_;  // per rule
+  std::vector<std::shared_ptr<internal::PredInstance>> instances_;
+
+  // Per-open-event memo so several tokens crossing the same predicated
+  // step share one instance.
+  std::vector<std::pair<const xpath::Predicate*,
+                        std::shared_ptr<internal::PredInstance>>> spawn_memo_;
+
+  std::vector<std::shared_ptr<NodeRec>> element_stack_;
+  std::deque<OutEvent> queue_;
+  size_t queue_base_ = 0;  ///< Absolute position of queue_.front().
+  /// Some predicate instance changed state since the last full sweep, so
+  /// earlier buffered events may now be decidable.
+  bool instances_dirty_ = false;
+
+  Stats stats_;
+};
+
+}  // namespace csxa::access
+
+#endif  // CSXA_ACCESS_RULE_EVALUATOR_H_

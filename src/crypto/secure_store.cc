@@ -230,6 +230,22 @@ Result<std::vector<uint8_t>> SoeDecryptor::DecryptVerified(
         mat.last_fragment >= layout_.fragments_per_chunk()) {
       return Status::IntegrityError("bad fragment range");
     }
+    // The hashed fragments must cover every transferred byte of this
+    // chunk: a terminal could otherwise narrow the claimed range, attach a
+    // genuine proof for it, and have bytes outside the range decrypted
+    // unverified.
+    uint64_t cover_begin = std::max(chunk_begin, resp.data_begin);
+    uint64_t cover_end = std::min(chunk_end, data_end);
+    uint64_t hashed_begin =
+        chunk_begin + uint64_t{mat.first_fragment} * layout_.fragment_size;
+    uint64_t hashed_end = std::min<uint64_t>(
+        chunk_begin +
+            (uint64_t{mat.last_fragment} + 1) * layout_.fragment_size,
+        chunk_end);
+    if (hashed_begin > cover_begin || hashed_end < cover_end) {
+      return Status::IntegrityError(
+          "integrity material does not cover the transferred range");
+    }
     // Recompute the leaf hashes of the fragments we received.
     std::vector<Sha1Digest> range_leaves;
     for (uint32_t f = mat.first_fragment; f <= mat.last_fragment; ++f) {

@@ -22,8 +22,11 @@ Status DocumentNavigator::Init(const uint8_t* data, size_t size,
                                Fetcher* fetcher) {
   data_ = data;
   fetcher_ = fetcher;
-  // Materialize enough prefix to parse the header, growing on demand.
-  size_t ensured = std::min<size_t>(size, 4096);
+  // Materialize enough prefix to parse the header, growing on demand. Start
+  // small: over-ensuring here defeats the lazy fetch path (skipped subtrees
+  // must never be transferred), and headers are dominated by the tag
+  // dictionary, which stays tiny.
+  size_t ensured = std::min<size_t>(size, 256);
   while (true) {
     if (fetcher_ != nullptr) CSXA_RETURN_NOT_OK(fetcher_->Ensure(0, ensured));
     auto info = ParseHeaderInfo(data, ensured);

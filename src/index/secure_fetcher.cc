@@ -1,0 +1,49 @@
+#include "index/secure_fetcher.h"
+
+#include <algorithm>
+
+namespace csxa::index {
+
+SecureFetcher::SecureFetcher(const crypto::SecureDocumentStore* store,
+                             crypto::SoeDecryptor* soe)
+    : store_(store),
+      soe_(soe),
+      fragment_size_(store->layout().fragment_size),
+      buffer_(store->plaintext_size(), 0),
+      fragment_valid_(
+          (store->plaintext_size() + store->layout().fragment_size - 1) /
+              store->layout().fragment_size,
+          false) {}
+
+Status SecureFetcher::Ensure(uint64_t begin, uint64_t end) {
+  end = std::min<uint64_t>(end, buffer_.size());
+  if (begin >= end) return Status::OK();
+
+  uint64_t first_frag = begin / fragment_size_;
+  uint64_t last_frag = (end - 1) / fragment_size_;
+  for (uint64_t f = first_frag; f <= last_frag; ++f) {
+    if (fragment_valid_[f]) continue;
+    // Coalesce the run of missing fragments into one terminal round trip.
+    uint64_t run_end = f;
+    while (run_end + 1 <= last_frag && !fragment_valid_[run_end + 1]) {
+      ++run_end;
+    }
+    uint64_t pos = f * fragment_size_;
+    uint64_t n =
+        std::min<uint64_t>((run_end + 1) * fragment_size_, buffer_.size()) -
+        pos;
+    auto resp = store_->ReadRange(pos, n);
+    CSXA_RETURN_NOT_OK(resp.status());
+    wire_bytes_ += resp.value().WireBytes();
+    ++requests_;
+    CSXA_ASSIGN_OR_RETURN(std::vector<uint8_t> plain,
+                          soe_->DecryptVerified(resp.value(), pos, n));
+    std::copy(plain.begin(), plain.end(), buffer_.begin() + pos);
+    bytes_fetched_ += n;
+    for (uint64_t g = f; g <= run_end; ++g) fragment_valid_[g] = true;
+    f = run_end;
+  }
+  return Status::OK();
+}
+
+}  // namespace csxa::index

@@ -1,0 +1,54 @@
+#ifndef CSXA_INDEX_SECURE_FETCHER_H_
+#define CSXA_INDEX_SECURE_FETCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/secure_store.h"
+#include "index/decoder.h"
+
+namespace csxa::index {
+
+/// Fetcher that materializes the encoded document lazily from the
+/// untrusted terminal: each Ensure() pulls the missing fragments as a
+/// RangeResponse from the SecureDocumentStore, verifies them against the
+/// Merkle chunk digests and decrypts them inside the SOE
+/// (crypto::SoeDecryptor), then caches the plaintext in a fixed buffer the
+/// DocumentNavigator reads from.
+///
+/// Bytes the navigator skips over (pruned subtrees) are never transferred,
+/// verified or decrypted — the property Section 5's cost model measures.
+class SecureFetcher : public Fetcher {
+ public:
+  /// `store` and `soe` must outlive the fetcher.
+  SecureFetcher(const crypto::SecureDocumentStore* store,
+                crypto::SoeDecryptor* soe);
+
+  /// Buffer of plaintext_size() bytes; valid only where Ensure() succeeded.
+  const uint8_t* data() const { return buffer_.data(); }
+  size_t size() const { return buffer_.size(); }
+
+  Status Ensure(uint64_t begin, uint64_t end) override;
+
+  /// Total bytes moved over the terminal->SOE channel so far.
+  uint64_t wire_bytes() const { return wire_bytes_; }
+  /// Plaintext bytes materialized so far (fragment granularity).
+  uint64_t bytes_fetched() const { return bytes_fetched_; }
+  /// Number of ReadRange round trips to the terminal.
+  uint64_t requests() const { return requests_; }
+
+ private:
+  const crypto::SecureDocumentStore* store_;
+  crypto::SoeDecryptor* soe_;
+  uint32_t fragment_size_;
+  std::vector<uint8_t> buffer_;
+  std::vector<bool> fragment_valid_;
+  uint64_t wire_bytes_ = 0;
+  uint64_t bytes_fetched_ = 0;
+  uint64_t requests_ = 0;
+};
+
+}  // namespace csxa::index
+
+#endif  // CSXA_INDEX_SECURE_FETCHER_H_

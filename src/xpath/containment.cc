@@ -96,8 +96,11 @@ bool MapsTo(const PatternNode& p, const PatternNode& q) {
         }
       }
     } else {
+      // / edge: pc must map onto a direct child reached by a / edge — a
+      // child edge mapped onto a // edge would wrongly prove
+      // Contains(/a/b, /a//b).
       for (const auto& qc : q.children) {
-        if (MapsTo(*pc, *qc)) {
+        if (!qc->via_descendant && MapsTo(*pc, *qc)) {
           matched = true;
           break;
         }

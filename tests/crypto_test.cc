@@ -1,0 +1,268 @@
+// Known-answer tests for the crypto layer: DES against FIPS 46-3 style
+// published vectors, SHA-1 against the NIST/FIPS 180-1 examples, Merkle
+// root recomputation from partial ranges, and the secure-store integrity
+// protocol against the attacks of Section 6.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/des.h"
+#include "crypto/merkle.h"
+#include "crypto/position_cipher.h"
+#include "crypto/secure_store.h"
+#include "crypto/sha1.h"
+#include "testing.h"
+
+namespace {
+
+using namespace csxa;          // NOLINT
+using namespace csxa::crypto;  // NOLINT
+
+uint8_t HexNibble(char c) {
+  if (c >= '0' && c <= '9') return static_cast<uint8_t>(c - '0');
+  if (c >= 'a' && c <= 'f') return static_cast<uint8_t>(c - 'a' + 10);
+  return static_cast<uint8_t>(c - 'A' + 10);
+}
+
+std::vector<uint8_t> FromHex(const std::string& hex) {
+  std::vector<uint8_t> out;
+  for (size_t i = 0; i + 1 < hex.size(); i += 2) {
+    out.push_back(static_cast<uint8_t>((HexNibble(hex[i]) << 4) |
+                                       HexNibble(hex[i + 1])));
+  }
+  return out;
+}
+
+std::string ToHex(const uint8_t* data, size_t n) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(kDigits[data[i] >> 4]);
+    out.push_back(kDigits[data[i] & 0xf]);
+  }
+  return out;
+}
+
+Block64 BlockFromHex(const std::string& hex) {
+  Block64 b{};
+  auto bytes = FromHex(hex);
+  for (size_t i = 0; i < 8; ++i) b[i] = bytes[i];
+  return b;
+}
+
+std::string Sha1Hex(const std::string& msg) {
+  auto d = Sha1::Hash(msg);
+  return ToHex(d.data(), d.size());
+}
+
+TEST(DesFipsVector) {
+  // The classic worked example of FIPS 46 expositions.
+  Des des(BlockFromHex("133457799BBCDFF1"));
+  Block64 ct = des.EncryptBlock(BlockFromHex("0123456789ABCDEF"));
+  CHECK_EQ(ToHex(ct.data(), 8), "85e813540f0ab405");
+  Block64 pt = des.DecryptBlock(ct);
+  CHECK_EQ(ToHex(pt.data(), 8), "0123456789abcdef");
+}
+
+TEST(DesSecondVector) {
+  Des des(BlockFromHex("0E329232EA6D0D73"));
+  Block64 ct = des.EncryptBlock(BlockFromHex("8787878787878787"));
+  CHECK_EQ(ToHex(ct.data(), 8), "0000000000000000");
+}
+
+TEST(TripleDesDegeneratesToDes) {
+  // EDE with K1 = K2 = K3 must equal single DES.
+  Block64 k = BlockFromHex("133457799BBCDFF1");
+  TripleDes::Key key{};
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int i = 0; i < 8; ++i) key[rep * 8 + i] = k[i];
+  }
+  TripleDes tdes(key);
+  Des des(k);
+  Block64 pt = BlockFromHex("0123456789ABCDEF");
+  CHECK(tdes.EncryptBlock(pt) == des.EncryptBlock(pt));
+  CHECK(tdes.DecryptBlock(des.EncryptBlock(pt)) == pt);
+}
+
+TEST(Sha1NistVectors) {
+  CHECK_EQ(Sha1Hex("abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+  CHECK_EQ(Sha1Hex(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  CHECK_EQ(
+      Sha1Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+  CHECK_EQ(Sha1Hex(std::string(1000000, 'a')),
+           "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1StateHandoff) {
+  // The terminal hashes a prefix, ships the intermediate state, and the
+  // SOE finishes the hash — the basic integrity protocol's key move.
+  std::string msg(300, '\0');
+  for (size_t i = 0; i < msg.size(); ++i) msg[i] = static_cast<char>(i * 7);
+  for (size_t split : {0u, 1u, 63u, 64u, 65u, 128u, 299u, 300u}) {
+    Sha1 terminal;
+    terminal.Update(msg.substr(0, split));
+    Sha1::State state = terminal.SaveState();
+
+    Sha1 soe;
+    soe.RestoreState(state);
+    soe.Update(msg.substr(split));
+    CHECK(soe.Finish() == Sha1::Hash(msg));
+  }
+}
+
+TEST(MerkleRootFromRange) {
+  std::vector<Sha1Digest> leaves;
+  for (int i = 0; i < 8; ++i) {
+    leaves.push_back(Sha1::Hash("leaf" + std::to_string(i)));
+  }
+  MerkleTree tree = MerkleTree::Build(leaves);
+  for (uint64_t first = 0; first < 8; ++first) {
+    for (uint64_t last = first; last < 8; ++last) {
+      auto proof = tree.ProofForRange(first, last);
+      std::vector<Sha1Digest> range(leaves.begin() + first,
+                                    leaves.begin() + last + 1);
+      auto root = MerkleTree::RootFromRange(8, first, last, range, proof);
+      CHECK_OK(root.status());
+      if (root.ok()) CHECK(root.value() == tree.root());
+    }
+  }
+}
+
+TEST(MerkleDetectsTamperedLeaf) {
+  std::vector<Sha1Digest> leaves;
+  for (int i = 0; i < 4; ++i) {
+    leaves.push_back(Sha1::Hash("leaf" + std::to_string(i)));
+  }
+  MerkleTree tree = MerkleTree::Build(leaves);
+  auto proof = tree.ProofForRange(1, 2);
+  std::vector<Sha1Digest> range = {Sha1::Hash("tampered"), leaves[2]};
+  auto root = MerkleTree::RootFromRange(4, 1, 2, range, proof);
+  CHECK_OK(root.status());
+  if (root.ok()) CHECK(!(root.value() == tree.root()));
+}
+
+TEST(PositionCipherDefeatsDictionaryAttacks) {
+  TripleDes::Key key{};
+  for (size_t i = 0; i < key.size(); ++i) key[i] = static_cast<uint8_t>(i);
+  PositionCipher cipher(key);
+  Block64 block = BlockFromHex("4141414141414141");
+  // Identical plaintext at two positions must encrypt differently.
+  CHECK(!(cipher.EncryptBlock(block, 0) == cipher.EncryptBlock(block, 1)));
+  CHECK(cipher.DecryptBlock(cipher.EncryptBlock(block, 7), 7) == block);
+
+  std::vector<uint8_t> buf(64, 0x41);
+  CHECK(cipher.Decrypt(cipher.Encrypt(buf, 3), 3) == buf);
+}
+
+std::vector<uint8_t> TestDocument(size_t n) {
+  std::vector<uint8_t> doc(n);
+  for (size_t i = 0; i < n; ++i) doc[i] = static_cast<uint8_t>(i * 31 + 7);
+  return doc;
+}
+
+TEST(SecureStoreRoundTrip) {
+  TripleDes::Key key{};
+  for (size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<uint8_t>(0x10 + i);
+  }
+  ChunkLayout layout;
+  layout.chunk_size = 256;
+  layout.fragment_size = 32;
+  auto doc = TestDocument(1000);  // not block- or chunk-aligned
+  auto store = SecureDocumentStore::Build(doc, key, layout);
+  CHECK_OK(store.status());
+  if (!store.ok()) return;
+
+  SoeDecryptor soe(key, layout, store.value().plaintext_size(),
+                   store.value().chunk_count());
+  // Ranges crossing block, fragment and chunk boundaries.
+  for (auto [pos, n] : std::vector<std::pair<uint64_t, uint64_t>>{
+           {0, 1000}, {0, 1}, {999, 1}, {3, 10}, {250, 20}, {31, 257}}) {
+    auto resp = store.value().ReadRange(pos, n);
+    CHECK_OK(resp.status());
+    if (!resp.ok()) continue;
+    auto plain = soe.DecryptVerified(resp.value(), pos, n);
+    CHECK_OK(plain.status());
+    if (!plain.ok()) continue;
+    std::vector<uint8_t> expect(doc.begin() + pos, doc.begin() + pos + n);
+    CHECK(plain.value() == expect);
+  }
+}
+
+bool RangeFailsIntegrity(const SecureDocumentStore& store,
+                         const TripleDes::Key& key, uint64_t pos,
+                         uint64_t n) {
+  SoeDecryptor soe(key, store.layout(), store.plaintext_size(),
+                   store.chunk_count());
+  auto resp = store.ReadRange(pos, n);
+  if (!resp.ok()) return false;
+  auto plain = soe.DecryptVerified(resp.value(), pos, n);
+  return plain.status().code() == StatusCode::kIntegrityError;
+}
+
+TEST(RangeNarrowingAttackDetected) {
+  // A malicious terminal transfers 4 fragments but claims (and proves)
+  // integrity for only the first 3, tampering with the 4th: the SOE must
+  // refuse to decrypt bytes outside the verified range.
+  TripleDes::Key key{};
+  for (size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<uint8_t>(0x33 + i);
+  }
+  ChunkLayout layout;
+  layout.chunk_size = 128;
+  layout.fragment_size = 32;
+  auto doc = TestDocument(256);
+  auto store = SecureDocumentStore::Build(doc, key, layout);
+  CHECK_OK(store.status());
+  if (!store.ok()) return;
+
+  auto wide = store.value().ReadRange(0, 128);   // fragments 0..3
+  auto narrow = store.value().ReadRange(0, 96);  // fragments 0..2
+  CHECK_OK(wide.status());
+  CHECK_OK(narrow.status());
+  if (!wide.ok() || !narrow.ok()) return;
+
+  RangeResponse attack = narrow.value();
+  attack.ciphertext = wide.value().ciphertext;
+  attack.ciphertext[100] ^= 0x01;  // tamper inside the unclaimed fragment 3
+
+  SoeDecryptor soe(key, layout, store.value().plaintext_size(),
+                   store.value().chunk_count());
+  auto plain = soe.DecryptVerified(attack, 0, 128);
+  CHECK(plain.status().code() == StatusCode::kIntegrityError);
+}
+
+TEST(SecureStoreDetectsAttacks) {
+  TripleDes::Key key{};
+  for (size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<uint8_t>(0x21 + i);
+  }
+  ChunkLayout layout;
+  layout.chunk_size = 128;
+  layout.fragment_size = 16;
+  auto doc = TestDocument(512);
+
+  {  // Random modification.
+    auto store = SecureDocumentStore::Build(doc, key, layout);
+    CHECK_OK(store.status());
+    store.value().TamperByte(200, 0x01);
+    CHECK(RangeFailsIntegrity(store.value(), key, 190, 30));
+  }
+  {  // Block substitution inside a chunk.
+    auto store = SecureDocumentStore::Build(doc, key, layout);
+    CHECK_OK(store.status());
+    store.value().SwapBlocks(2, 3);
+    CHECK(RangeFailsIntegrity(store.value(), key, 0, 64));
+  }
+  {  // Chunk-digest transposition.
+    auto store = SecureDocumentStore::Build(doc, key, layout);
+    CHECK_OK(store.status());
+    store.value().SwapChunkDigests(0, 1);
+    CHECK(RangeFailsIntegrity(store.value(), key, 0, 32));
+    CHECK(RangeFailsIntegrity(store.value(), key, 128, 32));
+  }
+}
+
+}  // namespace

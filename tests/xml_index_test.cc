@@ -1,0 +1,174 @@
+// XML and Skip-index layer tests: SAX parsing, serialization round-trips,
+// and encode/navigate round-trips plus subtree skipping across the
+// structure-encoding variants of Figure 8.
+
+#include <memory>
+#include <string>
+
+#include "index/decoder.h"
+#include "index/encoder.h"
+#include "index/variants.h"
+#include "testing.h"
+#include "xml/node.h"
+#include "xml/sax_parser.h"
+#include "xml/serializer.h"
+#include "xml/stats.h"
+
+namespace {
+
+using namespace csxa;  // NOLINT
+
+const char kDoc[] =
+    "<Folder><Admin><Name>Jane</Name><SSN>123</SSN></Admin>"
+    "<MedActs><Consult><Date>2004</Date><Diagnostic>flu</Diagnostic>"
+    "</Consult><Analysis><Type>G3</Type><Cholesterol>260</Cholesterol>"
+    "</Analysis></MedActs></Folder>";
+
+std::string EventDump(const std::string& xml) {
+  xml::SerializingHandler handler;
+  CHECK_OK(xml::SaxParser::Parse(xml, &handler));
+  return handler.output();
+}
+
+TEST(SaxParseSerializeRoundTrip) {
+  CHECK_EQ(EventDump(kDoc), kDoc);
+}
+
+TEST(SaxEntitiesAndMarkup) {
+  CHECK_EQ(EventDump("<?xml version=\"1.0\"?><a><!-- c -->x &lt;&amp;&gt; y"
+                     "<b attr=\"v\">z</b></a>"),
+           "<a>x &lt;&amp;&gt; y<b>z</b></a>");
+  xml::SerializingHandler sink;
+  CHECK(!xml::SaxParser::Parse("<a><b></a></b>", &sink).ok());
+  CHECK(!xml::SaxParser::Parse("<a>", &sink).ok());
+}
+
+TEST(DomStatsSanity) {
+  auto dom = xml::SaxParser::ParseToDom(kDoc);
+  CHECK_OK(dom.status());
+  if (!dom.ok()) return;
+  auto stats = xml::ComputeStats(*dom.value());
+  CHECK_EQ(stats.elements, size_t{11});
+  CHECK_EQ(stats.text_nodes, size_t{6});
+  CHECK_EQ(stats.max_depth, 4);
+  CHECK_EQ(stats.distinct_tags, size_t{11});
+}
+
+std::string NavigateAll(const index::EncodedDocument& doc) {
+  auto nav = index::DocumentNavigator::Open(&doc);
+  CHECK_OK(nav.status());
+  if (!nav.ok()) return "";
+  xml::SerializingHandler handler;
+  while (true) {
+    auto item = nav.value()->Next();
+    CHECK_OK(item.status());
+    if (!item.ok()) return "";
+    using K = index::DocumentNavigator::ItemKind;
+    if (item.value().kind == K::kEnd) break;
+    switch (item.value().kind) {
+      case K::kOpen:
+        handler.OnOpen(item.value().tag, item.value().depth);
+        break;
+      case K::kValue:
+        handler.OnValue(item.value().value, item.value().depth);
+        break;
+      case K::kClose:
+        handler.OnClose(item.value().tag, item.value().depth);
+        break;
+      case K::kEnd:
+        break;
+    }
+  }
+  return handler.output();
+}
+
+TEST(EncodeNavigateRoundTrip) {
+  auto dom = xml::SaxParser::ParseToDom(kDoc);
+  CHECK_OK(dom.status());
+  if (!dom.ok()) return;
+  for (auto variant : {index::Variant::kTc, index::Variant::kTcs,
+                       index::Variant::kTcsb, index::Variant::kTcsbr}) {
+    auto doc = index::Encode(*dom.value(), variant);
+    CHECK_OK(doc.status());
+    if (!doc.ok()) continue;
+    CHECK_EQ(NavigateAll(doc.value()), kDoc);
+  }
+}
+
+TEST(SkipSubtree) {
+  auto dom = xml::SaxParser::ParseToDom(kDoc);
+  CHECK_OK(dom.status());
+  if (!dom.ok()) return;
+  for (auto variant : {index::Variant::kTcs, index::Variant::kTcsb,
+                       index::Variant::kTcsbr}) {
+    auto doc = index::Encode(*dom.value(), variant);
+    CHECK_OK(doc.status());
+    if (!doc.ok()) continue;
+    auto nav = index::DocumentNavigator::Open(&doc.value());
+    CHECK_OK(nav.status());
+    if (!nav.ok()) continue;
+    CHECK(nav.value()->CanSkip());
+
+    // Open <Folder>, open <Admin>, then skip Admin's content: the next
+    // events must be </Admin> and <MedActs>.
+    auto open_folder = nav.value()->Next();
+    CHECK_OK(open_folder.status());
+    auto open_admin = nav.value()->Next();
+    CHECK_OK(open_admin.status());
+    CHECK_EQ(open_admin.value().tag, "Admin");
+    CHECK_OK(nav.value()->SkipSubtree());
+    auto close_admin = nav.value()->Next();
+    CHECK_OK(close_admin.status());
+    CHECK(close_admin.value().kind ==
+          index::DocumentNavigator::ItemKind::kClose);
+    CHECK_EQ(close_admin.value().tag, "Admin");
+    auto open_med = nav.value()->Next();
+    CHECK_OK(open_med.status());
+    CHECK_EQ(open_med.value().tag, "MedActs");
+  }
+}
+
+TEST(VariantSizesOrdered) {
+  auto dom = xml::SaxParser::ParseToDom(kDoc);
+  CHECK_OK(dom.status());
+  if (!dom.ok()) return;
+  uint64_t tcsbr = 0, tcsb = 0, nc = 0;
+  for (auto [variant, out] :
+       std::initializer_list<std::pair<index::Variant, uint64_t*>>{
+           {index::Variant::kNc, &nc},
+           {index::Variant::kTcsb, &tcsb},
+           {index::Variant::kTcsbr, &tcsbr}}) {
+    auto rep = index::MeasureVariant(*dom.value(), variant);
+    CHECK_OK(rep.status());
+    if (rep.ok()) *out = rep.value().total_bytes;
+  }
+  // The recursive encoding must not be larger than the flat bitmap one,
+  // and both compress the original document.
+  CHECK(tcsbr <= tcsb);
+  CHECK(tcsb < nc);
+}
+
+TEST(NavigatorCheckpointRestore) {
+  auto dom = xml::SaxParser::ParseToDom(kDoc);
+  CHECK_OK(dom.status());
+  if (!dom.ok()) return;
+  auto doc = index::Encode(*dom.value(), index::Variant::kTcsbr);
+  CHECK_OK(doc.status());
+  if (!doc.ok()) return;
+  auto nav = index::DocumentNavigator::Open(&doc.value());
+  CHECK_OK(nav.status());
+  if (!nav.ok()) return;
+
+  for (int i = 0; i < 3; ++i) CHECK_OK(nav.value()->Next().status());
+  auto checkpoint = nav.value()->Save();
+  auto a = nav.value()->Next();
+  CHECK_OK(a.status());
+  CHECK_OK(nav.value()->Restore(checkpoint));
+  auto b = nav.value()->Next();
+  CHECK_OK(b.status());
+  if (a.ok() && b.ok()) {
+    CHECK_EQ(a.value().tag + a.value().value, b.value().tag + b.value().value);
+  }
+}
+
+}  // namespace

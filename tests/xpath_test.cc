@@ -1,0 +1,117 @@
+// XPath fragment tests: parser round-trips, comparison coercion, and the
+// homomorphism-based containment/equivalence checks (the static analysis
+// behind rule-set minimization, Section 3.3).
+
+#include <string>
+
+#include "testing.h"
+#include "xpath/ast.h"
+#include "xpath/containment.h"
+#include "xpath/parser.h"
+
+namespace {
+
+using namespace csxa;         // NOLINT
+using namespace csxa::xpath;  // NOLINT
+
+Path MustParse(const std::string& text) {
+  auto p = ParsePath(text);
+  CHECK_OK(p.status());
+  return p.ok() ? p.take() : Path{};
+}
+
+bool C(const std::string& outer, const std::string& inner) {
+  return Contains(MustParse(outer), MustParse(inner));
+}
+
+TEST(ParserRoundTrip) {
+  for (const char* text : {
+           "/a",
+           "/a/b/c",
+           "//a",
+           "/a//b",
+           "/a/*/b",
+           "/Folder/MedActs//Analysis",
+           "/a[b]",
+           "/a[b=1]/c",
+           "/a[b!=x]//d",
+           "/a[//b>250]",
+           "/a[b/c=G3]",
+           "/a[b[c]/d]",
+       }) {
+    Path p = MustParse(text);
+    CHECK_EQ(p.ToString(), text);
+  }
+  // Whitespace around comparison operators is accepted and canonicalized.
+  CHECK_EQ(MustParse("/a[ b = 1 ]/c").ToString(), "/a[b=1]/c");
+}
+
+TEST(ParserRejectsMalformed) {
+  for (const char* text : {"", "a/b", "/", "/a[", "/a]b", "/a[b=]", "/a//"}) {
+    CHECK(!ParsePath(text).ok());
+  }
+}
+
+TEST(PathIntrospection) {
+  Path p = MustParse("/a[b[c]/d]//e[f = 1]");
+  CHECK_EQ(p.CountPredicates(), size_t{3});
+  CHECK(p.UsesDescendantAxis());
+  CHECK(!MustParse("/a/b[c]").UsesDescendantAxis());
+}
+
+TEST(EvalCompareCoercion) {
+  // Numeric comparison when both sides parse as numbers.
+  CHECK(EvalCompare(CompareOp::kGt, "260", "250"));
+  CHECK(!EvalCompare(CompareOp::kGt, "99", "250"));
+  CHECK(EvalCompare(CompareOp::kLe, "9", "10"));  // "9" < "10" numerically
+  CHECK(EvalCompare(CompareOp::kEq, "1.5", "1.50"));
+  // String comparison otherwise.
+  CHECK(EvalCompare(CompareOp::kEq, "G3", "G3"));
+  CHECK(EvalCompare(CompareOp::kNe, "G3", "G2"));
+  CHECK(EvalCompare(CompareOp::kLt, "abc", "abd"));
+}
+
+TEST(ContainmentBasics) {
+  CHECK(C("/a", "/a"));
+  CHECK(C("//a", "/a"));
+  CHECK(C("//b", "/a/b"));
+  CHECK(C("/a//b", "/a/b"));
+  CHECK(C("/a//b", "/a/c/b"));
+  CHECK(C("/a//b", "/a/c/d/b"));
+  CHECK(!C("/a/b", "/a//b"));
+  CHECK(!C("/a/b", "/a"));
+  CHECK(!C("/a", "/b"));
+  CHECK(!C("/a/c", "/a/b"));
+}
+
+TEST(ContainmentWildcards) {
+  CHECK(C("/a/*", "/a/b"));
+  CHECK(!C("/a/b", "/a/*"));
+  CHECK(C("/a//b", "/a/*/b"));
+  CHECK(!C("/a/*/b", "/a//b"));
+  CHECK(C("/*", "/a"));
+  CHECK(C("//*", "/a/b/c"));
+}
+
+TEST(ContainmentPredicates) {
+  // Dropping a predicate widens the selection.
+  CHECK(C("/a", "/a[b]"));
+  CHECK(!C("/a[b]", "/a"));
+  CHECK(C("/a[b]", "/a[b]"));
+  CHECK(C("/a[b]/c", "/a[b]/c"));
+  // A child predicate is implied by the same predicate with more structure.
+  CHECK(C("/a[b]", "/a[b[c]]"));
+  CHECK(!C("/a[b[c]]", "/a[b]"));
+  // Descendant predicate contains child predicate.
+  CHECK(C("/a[//b]", "/a[b]"));
+  CHECK(!C("/a[b]", "/a[//b]"));
+}
+
+TEST(Equivalence) {
+  CHECK(Equivalent(MustParse("/a//b"), MustParse("/a//b")));
+  CHECK(Equivalent(MustParse("/a[b = 1]"), MustParse("/a[b = 1]")));
+  CHECK(!Equivalent(MustParse("/a//b"), MustParse("/a/b")));
+  CHECK(!Equivalent(MustParse("/a"), MustParse("/b")));
+}
+
+}  // namespace

@@ -1,0 +1,377 @@
+// csxa_demo — end-to-end demonstration of the paper's pipeline:
+//
+//   XML text --SaxParser--> DOM --index::Encode--> Skip-index image
+//     --SecureDocumentStore--> encrypted chunks on the untrusted terminal
+//     --SecureFetcher/SoeDecryptor--> verified plaintext, fetched lazily
+//     --DocumentNavigator--> SAX events
+//     --access::RuleEvaluator--> authorized pruned event stream
+//     --SerializingHandler--> authorized view, delivered to the user
+//
+// With no arguments it runs the built-in sample (the paper's medical-folder
+// example) verbosely; --selftest checks the produced view against the
+// expected result and the tamper-detection path, exiting nonzero on any
+// mismatch (this is the ctest smoke test).
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "access/access_rule.h"
+#include "access/rule_evaluator.h"
+#include "common/status.h"
+#include "crypto/secure_store.h"
+#include "index/encoder.h"
+#include "index/secure_fetcher.h"
+#include "index/variants.h"
+#include "xml/sax_parser.h"
+#include "xml/serializer.h"
+#include "xml/stats.h"
+
+namespace {
+
+using namespace csxa;  // NOLINT
+
+const char kSampleDocument[] = R"(<Folder>
+  <Admin>
+    <Name>Jane Doe</Name>
+    <SSN>123-45-678</SSN>
+    <Insurance>ACME Health</Insurance>
+  </Admin>
+  <MedActs>
+    <Consult>
+      <Date>2004-01-12</Date>
+      <Diagnostic>flu</Diagnostic>
+      <Prescription>rest</Prescription>
+    </Consult>
+    <Analysis>
+      <Type>G3</Type>
+      <Cholesterol>260</Cholesterol>
+      <Comments>borderline</Comments>
+    </Analysis>
+    <Analysis>
+      <Comments>ok</Comments>
+      <Cholesterol>180</Cholesterol>
+      <Type>G2</Type>
+    </Analysis>
+  </MedActs>
+</Folder>)";
+
+// The doctor sees the whole folder, except the administrative data (of
+// which only the patient name reappears, by a more specific positive rule)
+// and the comments of G3-typed analyses (a predicate-based denial). In the
+// second Analysis the Type arrives *after* the Comments, so the evaluator
+// must keep those comments pending until the predicate resolves.
+const char kSampleRules[] = R"(# rule set of the running example
++ doctor: /Folder
+- doctor: /Folder/Admin
++ doctor: /Folder/Admin/Name
+- doctor: //Analysis[Type = G3]/Comments
++ doctor: //Prescription
+# redundant: its node set is contained in "+ doctor: //Prescription"
++ doctor: /Folder/MedActs//Prescription
+)";
+
+const char kExpectedView[] =
+    "<Folder><Admin><Name>Jane Doe</Name></Admin>"
+    "<MedActs>"
+    "<Consult><Date>2004-01-12</Date><Diagnostic>flu</Diagnostic>"
+    "<Prescription>rest</Prescription></Consult>"
+    "<Analysis><Type>G3</Type><Cholesterol>260</Cholesterol></Analysis>"
+    "<Analysis><Comments>ok</Comments><Cholesterol>180</Cholesterol>"
+    "<Type>G2</Type></Analysis>"
+    "</MedActs></Folder>";
+
+crypto::TripleDes::Key DemoKey() {
+  crypto::TripleDes::Key key{};
+  for (size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<uint8_t>(0x42 + 7 * i);
+  }
+  return key;
+}
+
+struct Options {
+  bool selftest = false;
+  bool verbose = true;
+  std::string doc_path;
+  std::string rules_path;
+  std::string subject = "doctor";
+  index::Variant variant = index::Variant::kTcsbr;
+  crypto::ChunkLayout layout;
+};
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::InvalidArgument("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+struct PipelineResult {
+  std::string authorized_view;
+  access::RuleEvaluator::Stats eval_stats;
+  std::vector<uint8_t> encoded_image;  ///< Encoded document (header+stream).
+  uint64_t wire_bytes = 0;
+  uint64_t bytes_fetched = 0;
+  uint64_t requests = 0;
+  crypto::SoeDecryptor::Counters soe;
+};
+
+Result<PipelineResult> RunPipeline(const std::string& xml,
+                                   const std::vector<access::AccessRule>& rules,
+                                   const Options& opt) {
+  PipelineResult out;
+
+  // Owner side: parse, encode, encrypt, hand over to the terminal.
+  CSXA_ASSIGN_OR_RETURN(auto dom, xml::SaxParser::ParseToDom(xml));
+  CSXA_ASSIGN_OR_RETURN(index::EncodedDocument doc,
+                        index::Encode(*dom, opt.variant));
+  const auto key = DemoKey();
+  CSXA_ASSIGN_OR_RETURN(
+      crypto::SecureDocumentStore store,
+      crypto::SecureDocumentStore::Build(doc.bytes, key, opt.layout));
+
+  // SOE side: verified lazy fetch, streaming decode, rule evaluation.
+  crypto::SoeDecryptor soe(key, store.layout(), store.plaintext_size(),
+                           store.chunk_count());
+  index::SecureFetcher fetcher(&store, &soe);
+  CSXA_ASSIGN_OR_RETURN(
+      auto nav,
+      index::DocumentNavigator::OpenBuffer(fetcher.data(), fetcher.size(),
+                                           &fetcher));
+
+  xml::SerializingHandler serializer;
+  access::RuleEvaluator evaluator(rules, &serializer);
+  while (true) {
+    CSXA_ASSIGN_OR_RETURN(auto item, nav->Next());
+    using K = index::DocumentNavigator::ItemKind;
+    if (item.kind == K::kEnd) break;
+    switch (item.kind) {
+      case K::kOpen:
+        evaluator.OnOpen(item.tag, item.depth);
+        break;
+      case K::kValue:
+        evaluator.OnValue(item.value, item.depth);
+        break;
+      case K::kClose:
+        evaluator.OnClose(item.tag, item.depth);
+        break;
+      case K::kEnd:
+        break;
+    }
+  }
+  CSXA_RETURN_NOT_OK(evaluator.Finish());
+
+  out.authorized_view = serializer.output();
+  out.encoded_image = std::move(doc.bytes);
+  out.eval_stats = evaluator.stats();
+  out.wire_bytes = fetcher.wire_bytes();
+  out.bytes_fetched = fetcher.bytes_fetched();
+  out.requests = fetcher.requests();
+  out.soe = soe.counters();
+  return out;
+}
+
+/// Re-runs the fetch path against a tampered store holding the
+/// already-encoded document; returns true when the integrity check caught
+/// the modification.
+bool TamperIsDetected(const std::vector<uint8_t>& encoded_image,
+                      const Options& opt) {
+  const auto key = DemoKey();
+  auto store =
+      crypto::SecureDocumentStore::Build(encoded_image, key, opt.layout);
+  if (!store.ok()) return false;
+  store.value().TamperByte(encoded_image.size() / 2, 0x40);
+
+  crypto::SoeDecryptor soe(key, store.value().layout(),
+                           store.value().plaintext_size(),
+                           store.value().chunk_count());
+  index::SecureFetcher fetcher(&store.value(), &soe);
+  Status st = fetcher.Ensure(0, fetcher.size());
+  return st.code() == StatusCode::kIntegrityError;
+}
+
+int Run(const Options& opt) {
+  std::string xml = kSampleDocument;
+  std::string rules_text = kSampleRules;
+  if (!opt.doc_path.empty()) {
+    auto r = ReadFile(opt.doc_path);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 2;
+    }
+    xml = r.take();
+  }
+  if (!opt.rules_path.empty()) {
+    auto r = ReadFile(opt.rules_path);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 2;
+    }
+    rules_text = r.take();
+  }
+
+  auto parsed_rules = access::ParseRuleList(rules_text);
+  if (!parsed_rules.ok()) {
+    std::fprintf(stderr, "rules: %s\n",
+                 parsed_rules.status().ToString().c_str());
+    return 2;
+  }
+  std::vector<access::AccessRule> all_rules = parsed_rules.take();
+  std::vector<access::AccessRule> subject_rules =
+      access::RulesForSubject(all_rules, opt.subject);
+  size_t before = subject_rules.size();
+  subject_rules = access::EliminateRedundantRules(std::move(subject_rules));
+
+  if (opt.verbose) {
+    std::printf("subject: %s\n", opt.subject.c_str());
+    std::printf("rules (%zu, %zu eliminated as redundant):\n",
+                subject_rules.size(), before - subject_rules.size());
+    for (const auto& r : subject_rules) {
+      std::printf("  %s\n", r.ToString().c_str());
+    }
+    auto dom = xml::SaxParser::ParseToDom(xml);
+    if (dom.ok()) {
+      std::printf("document: %s\n",
+                  xml::ComputeStats(*dom.value()).ToString().c_str());
+      std::printf("encoding sizes (Figure 8):\n");
+      for (auto v :
+           {index::Variant::kNc, index::Variant::kTc, index::Variant::kTcs,
+            index::Variant::kTcsb, index::Variant::kTcsbr}) {
+        auto rep = index::MeasureVariant(*dom.value(), v);
+        if (rep.ok()) {
+          std::printf("  %-6s %6llu bytes  (structure/text %.1f%%)\n",
+                      index::VariantName(v),
+                      static_cast<unsigned long long>(rep.value().total_bytes),
+                      rep.value().StructTextPercent());
+        }
+      }
+    }
+  }
+
+  auto result = RunPipeline(xml, subject_rules, opt);
+  if (!result.ok()) {
+    std::fprintf(stderr, "pipeline: %s\n",
+                 result.status().ToString().c_str());
+    return 2;
+  }
+  const PipelineResult& pr = result.value();
+
+  if (opt.verbose) {
+    std::printf("\nauthorized view:\n%s\n", pr.authorized_view.c_str());
+    std::printf("\ncost model:\n");
+    std::printf("  encoded document     %8llu bytes\n",
+                static_cast<unsigned long long>(pr.encoded_image.size()));
+    std::printf("  terminal->SOE wire   %8llu bytes in %llu request(s)\n",
+                static_cast<unsigned long long>(pr.wire_bytes),
+                static_cast<unsigned long long>(pr.requests));
+    std::printf("  decrypted in SOE     %8llu bytes\n",
+                static_cast<unsigned long long>(pr.soe.bytes_decrypted));
+    std::printf("  hashed in SOE        %8llu bytes\n",
+                static_cast<unsigned long long>(pr.soe.bytes_hashed));
+    std::printf("  events in/out/pruned %llu/%llu/%llu, rule hits %llu, "
+                "pending predicates %llu, peak buffered %zu\n",
+                static_cast<unsigned long long>(pr.eval_stats.events_in),
+                static_cast<unsigned long long>(pr.eval_stats.events_emitted),
+                static_cast<unsigned long long>(pr.eval_stats.events_pruned),
+                static_cast<unsigned long long>(pr.eval_stats.rule_hits),
+                static_cast<unsigned long long>(
+                    pr.eval_stats.predicates_spawned),
+                pr.eval_stats.peak_buffered);
+  }
+
+  if (opt.selftest) {
+    int rc = 0;
+    if (opt.doc_path.empty() && opt.rules_path.empty()) {
+      if (pr.authorized_view != kExpectedView) {
+        std::fprintf(stderr,
+                     "selftest: authorized view mismatch\n  got:      %s\n"
+                     "  expected: %s\n",
+                     pr.authorized_view.c_str(), kExpectedView);
+        rc = 1;
+      }
+      if (before - subject_rules.size() != 1) {
+        std::fprintf(stderr, "selftest: expected 1 redundant rule, got %zu\n",
+                     before - subject_rules.size());
+        rc = 1;
+      }
+    }
+    if (!TamperIsDetected(pr.encoded_image, opt)) {
+      std::fprintf(stderr, "selftest: tampering was not detected\n");
+      rc = 1;
+    }
+    if (rc == 0) std::printf("selftest OK\n");
+    return rc;
+  }
+  return 0;
+}
+
+bool ParseUint32(const char* text, uint32_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long v = std::strtoul(text, &end, 10);
+  if (errno != 0 || *end != '\0' || v > UINT32_MAX) return false;
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--selftest") {
+      opt.selftest = true;
+      opt.verbose = false;
+    } else if (arg == "--doc") {
+      if (const char* v = next()) opt.doc_path = v;
+    } else if (arg == "--rules") {
+      if (const char* v = next()) opt.rules_path = v;
+    } else if (arg == "--subject") {
+      if (const char* v = next()) opt.subject = v;
+    } else if (arg == "--variant") {
+      const char* v = next();
+      if (v != nullptr) {
+        std::string name = v;
+        if (name == "tc") opt.variant = csxa::index::Variant::kTc;
+        else if (name == "tcs") opt.variant = csxa::index::Variant::kTcs;
+        else if (name == "tcsb") opt.variant = csxa::index::Variant::kTcsb;
+        else if (name == "tcsbr") opt.variant = csxa::index::Variant::kTcsbr;
+        else {
+          std::fprintf(stderr, "unknown variant %s\n", v);
+          return 2;
+        }
+      }
+    } else if (arg == "--chunk" || arg == "--fragment") {
+      const char* v = next();
+      uint32_t* field = arg == "--chunk" ? &opt.layout.chunk_size
+                                         : &opt.layout.fragment_size;
+      if (!ParseUint32(v, field)) {
+        std::fprintf(stderr, "%s needs a positive integer, got %s\n",
+                     arg.c_str(), v == nullptr ? "(nothing)" : v);
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: csxa_demo [--selftest] [--doc FILE] [--rules FILE]\n"
+          "                 [--subject NAME] [--variant tc|tcs|tcsb|tcsbr]\n"
+          "                 [--chunk BYTES] [--fragment BYTES]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument %s (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+  return Run(opt);
+}
