@@ -70,6 +70,29 @@ void PathMatcher::OnClose(int depth) {
   }
 }
 
+bool PathMatcher::CanCompleteWithin(const SubtreeFacts& facts) const {
+  const Frame& top = stack_.back();
+  if (top.exact.empty() && top.desc.empty()) return false;
+  // Any full match below needs at least one more element open.
+  if (facts.tags_known && facts.no_elements_below) return false;
+
+  auto feasible = [&](const TokenState& t) {
+    if (!facts.tags_known) return true;  // No bitmap: cannot rule it out.
+    for (size_t s = t.next_step; s < steps_->size(); ++s) {
+      const xpath::Step& step = (*steps_)[s];
+      if (!step.wildcard && !facts.may_contain(step.name)) return false;
+    }
+    return true;
+  };
+  for (const TokenState& t : top.exact) {
+    if (feasible(t)) return true;
+  }
+  for (const TokenState& t : top.desc) {
+    if (feasible(t)) return true;
+  }
+  return false;
+}
+
 }  // namespace internal
 
 using internal::CondSet;
@@ -97,17 +120,29 @@ struct RuleEvaluator::NodeRec {
   size_t open_qpos = 0;
   size_t close_qpos = 0;  ///< Valid once closed.
 
+  /// Undecided buffered events strictly inside (open_qpos, close_qpos).
+  /// Maintained incrementally so "is this subtree fully decided" — the
+  /// gate for pruning a denied element — is O(1) instead of a queue scan.
+  size_t undecided_inside = 0;
+
   enum class OpenState { kUndecided, kEmit, kDrop };
   OpenState open_state = OpenState::kUndecided;
 };
 
 struct RuleEvaluator::OutEvent {
-  enum class S { kUndecided, kEmit, kDrop };
+  using S = RuleEvaluator::EventStatus;
   xml::Event ev;
   int depth = 0;
   S status = S::kUndecided;
   /// Open/close: the element itself. Value: the parent element.
   std::shared_ptr<NodeRec> node;
+
+  /// First node whose subtree strictly contains this event: the parent
+  /// element for open/close events, the carrying element for values.
+  NodeRec* EnclosingNode() const {
+    if (node == nullptr) return nullptr;
+    return ev.kind == xml::EventKind::kValue ? node.get() : node->parent.get();
+  }
 };
 
 RuleEvaluator::RuleEvaluator(std::vector<AccessRule> rules,
@@ -145,18 +180,21 @@ namespace {
 /// Applicability of a hit / candidate given its pending-predicate set.
 enum class CondState { kTrue, kFalse, kPending };
 
-CondState EvalConds(const CondSet& conds) {
+CondState EvalConds(const CondSet& conds, CondSet* blockers = nullptr) {
   CondState st = CondState::kTrue;
   for (const auto& c : conds) {
     if (c->state == PredInstance::State::kFalse) return CondState::kFalse;
-    if (c->state == PredInstance::State::kPending) st = CondState::kPending;
+    if (c->state == PredInstance::State::kPending) {
+      st = CondState::kPending;
+      if (blockers != nullptr) blockers->push_back(c);
+    }
   }
   return st;
 }
 
 }  // namespace
 
-Decision RuleEvaluator::Decide(const NodeRec& node) const {
+Decision RuleEvaluator::Decide(const NodeRec& node, CondSet* blockers) const {
   // Applicable hits are the node's own plus every ancestor's
   // (propagation), reached by walking the parent chain rather than copying
   // hit vectors into each node.
@@ -166,6 +204,10 @@ Decision RuleEvaluator::Decide(const NodeRec& node) const {
   // precedence); a resolved permission wins unless a pending denial at the
   // same depth could still override it; any other pending hit leaves the
   // whole decision open. A depth whose hits all turned false is skipped.
+  //
+  // Stability: hit sets are fixed once a node is open and predicate states
+  // only move kPending -> {kTrue, kFalse}, so a kDeny or kPermit returned
+  // here is irrevocable — the property the skip oracle builds on.
   std::vector<int> depths;
   for (const NodeRec* n = &node; n != nullptr; n = n->parent.get()) {
     for (const auto& h : n->hits) depths.push_back(h.target_depth);
@@ -179,7 +221,7 @@ Decision RuleEvaluator::Decide(const NodeRec& node) const {
     for (const NodeRec* n = &node; n != nullptr; n = n->parent.get()) {
       for (const auto& h : n->hits) {
         if (h.target_depth != level) continue;
-        switch (EvalConds(h.conds)) {
+        switch (EvalConds(h.conds, blockers)) {
           case CondState::kFalse:
             break;
           case CondState::kTrue:
@@ -202,31 +244,77 @@ Decision RuleEvaluator::Decide(const NodeRec& node) const {
   return Decision::kDeny;  // Closed-world default.
 }
 
+SkipDecision RuleEvaluator::SubtreeDecision(const SubtreeFacts& facts,
+                                            int depth) {
+  ++stats_.skip_checks;
+  if (element_stack_.empty() || element_stack_.back()->depth != depth) {
+    return SkipDecision::kDescend;  // Misaligned caller: never unsafe.
+  }
+  // 1. Only an irrevocably denied element can be skipped: kPermit must
+  //    stream its content, kPending may still become permitted.
+  if (Decide(*element_stack_.back()) != Decision::kDeny) {
+    return SkipDecision::kDescend;
+  }
+  // 2. A pending predicate gathering evidence in this subtree governs
+  //    buffered events elsewhere (e.g. already-seen siblings). A live
+  //    value collection always forces a descent — text nodes are invisible
+  //    to the descendant-tag bitmap.
+  for (const auto& inst : instances_) {
+    if (inst->state != PredInstance::State::kPending) continue;
+    if (!inst->collections.empty()) return SkipDecision::kDescend;
+    if (inst->matcher.CanCompleteWithin(facts)) return SkipDecision::kDescend;
+  }
+  // 3. A deeper positive target inside the subtree would override the
+  //    denial (most-specific-takes-precedence). Negative rules cannot
+  //    change anything below an irrevocable deny: their hits and spawned
+  //    predicates would only govern nodes of this — entirely denied —
+  //    subtree.
+  for (size_t r = 0; r < rules_.size(); ++r) {
+    if (rules_[r].sign != Sign::kPermit) continue;
+    if (matchers_[r]->CanCompleteWithin(facts)) return SkipDecision::kDescend;
+  }
+  ++stats_.skips_advised;
+  return SkipDecision::kSkip;
+}
+
+void RuleEvaluator::MarkStatus(OutEvent& e, EventStatus status) {
+  // Transition an event out of kUndecided exactly once, keeping every
+  // enclosing element's undecided_inside count in sync.
+  e.status = status;
+  for (NodeRec* n = e.EnclosingNode(); n != nullptr; n = n->parent.get()) {
+    --n->undecided_inside;
+  }
+}
+
 void RuleEvaluator::ForceEmit(NodeRec* node) {
   // Ancestors of a permitted node stay visible (tags only) to preserve the
   // structure of the authorized view.
   while (node != nullptr &&
          node->open_state != NodeRec::OpenState::kEmit) {
     node->open_state = NodeRec::OpenState::kEmit;
-    EventAt(node->open_qpos).status = OutEvent::S::kEmit;
-    if (node->closed) EventAt(node->close_qpos).status = OutEvent::S::kEmit;
+    OutEvent& open_ev = EventAt(node->open_qpos);
+    if (open_ev.status == EventStatus::kUndecided) {
+      MarkStatus(open_ev, EventStatus::kEmit);
+    }
+    if (node->closed) {
+      OutEvent& close_ev = EventAt(node->close_qpos);
+      if (close_ev.status == EventStatus::kUndecided) {
+        MarkStatus(close_ev, EventStatus::kEmit);
+      }
+    }
     node = node->parent.get();
   }
 }
 
-bool RuleEvaluator::SubtreeDecided(const NodeRec& node) const {
-  for (size_t q = node.open_qpos + 1; q < node.close_qpos; ++q) {
-    if (queue_[q - queue_base_].status == OutEvent::S::kUndecided) {
-      return false;
-    }
-  }
-  return true;
+void RuleEvaluator::SettleInstance(const std::shared_ptr<PredInstance>& inst,
+                                   PredInstance::State state) {
+  inst->state = state;
+  wave_.push_back(inst);
 }
 
-bool RuleEvaluator::SettleCandidates() {
+void RuleEvaluator::SettleCandidates() {
   // Pending-predicate fixpoint: an instance turns true as soon as one of
   // its match candidates has all nested conditions true.
-  bool any = false;
   bool changed = true;
   while (changed) {
     changed = false;
@@ -236,54 +324,71 @@ bool RuleEvaluator::SettleCandidates() {
       for (auto it = cands.begin(); it != cands.end();) {
         CondState st = EvalConds(*it);
         if (st == CondState::kTrue) {
-          inst->state = PredInstance::State::kTrue;
-          any = changed = true;
+          SettleInstance(inst, PredInstance::State::kTrue);
+          changed = true;
           break;
         }
         it = st == CondState::kFalse ? cands.erase(it) : ++it;
       }
     }
   }
-  return any;
 }
 
-bool RuleEvaluator::ResolveEvent(OutEvent& e) {
-  if (e.status != OutEvent::S::kUndecided) return false;
+bool RuleEvaluator::ResolveEvent(size_t qpos) {
+  OutEvent& e = EventAt(qpos);
+  if (e.status != EventStatus::kUndecided) return false;
+  // Events that stay undecided because of pending predicates subscribe to
+  // exactly the blocking instances; they are re-examined when (and only
+  // when) one of those resolves.
+  CondSet blockers;
+  auto subscribe = [&]() {
+    for (const auto& b : blockers) {
+      if (b->state == PredInstance::State::kPending) {
+        b->watchers.push_back(qpos);
+      }
+    }
+  };
   switch (e.ev.kind) {
     case xml::EventKind::kValue: {
       // Text is disclosed iff its parent element is permitted; denied
       // ancestors of permitted nodes expose tags, never text.
-      Decision d = e.node ? Decide(*e.node) : Decision::kDeny;
+      Decision d = e.node ? Decide(*e.node, &blockers) : Decision::kDeny;
       if (d == Decision::kPermit) {
-        e.status = OutEvent::S::kEmit;
+        MarkStatus(e, EventStatus::kEmit);
         return true;
       }
       if (d == Decision::kDeny) {
-        e.status = OutEvent::S::kDrop;
+        MarkStatus(e, EventStatus::kDrop);
         return true;
       }
+      subscribe();
       return false;
     }
     case xml::EventKind::kOpen: {
-      Decision d = Decide(*e.node);
+      Decision d = Decide(*e.node, &blockers);
       if (d == Decision::kPermit) {
         ForceEmit(e.node.get());
         return true;
       }
-      if (d == Decision::kDeny && e.node->closed &&
-          SubtreeDecided(*e.node)) {
+      if (d == Decision::kPending) {
+        subscribe();
+        return false;
+      }
+      if (e.node->closed && e.node->undecided_inside == 0) {
         // Fully decided subtree with nothing emitted: prune the element
-        // altogether.
+        // altogether. (Not yet closed / not yet decided inside: retried at
+        // close time or by TryPruneEnclosing when the last inner event
+        // resolves.)
         e.node->open_state = NodeRec::OpenState::kDrop;
-        e.status = OutEvent::S::kDrop;
-        EventAt(e.node->close_qpos).status = OutEvent::S::kDrop;
+        MarkStatus(e, EventStatus::kDrop);
+        MarkStatus(EventAt(e.node->close_qpos), EventStatus::kDrop);
         return true;
       }
       return false;
     }
     case xml::EventKind::kClose: {
       if (e.node->open_state == NodeRec::OpenState::kEmit) {
-        e.status = OutEvent::S::kEmit;
+        MarkStatus(e, EventStatus::kEmit);
         return true;
       }
       return false;
@@ -292,44 +397,56 @@ bool RuleEvaluator::ResolveEvent(OutEvent& e) {
   return false;
 }
 
+void RuleEvaluator::TryPruneEnclosing(NodeRec* node) {
+  // An inner event just resolved: closed, denied elements up the chain may
+  // now have fully decided subtrees and become prunable. Each successful
+  // prune decides two more events, possibly unlocking the next ancestor.
+  while (node != nullptr && node->closed &&
+         node->open_state == NodeRec::OpenState::kUndecided &&
+         node->undecided_inside == 0) {
+    if (!ResolveEvent(node->open_qpos)) break;
+    node = node->parent.get();
+  }
+}
+
+void RuleEvaluator::DrainWave() {
+  while (!wave_.empty()) {
+    std::shared_ptr<PredInstance> inst = std::move(wave_.back());
+    wave_.pop_back();
+    std::vector<size_t> watchers = std::move(inst->watchers);
+    inst->watchers.clear();
+    for (size_t qpos : watchers) {
+      if (qpos < queue_base_) continue;  // Already flushed.
+      NodeRec* enclosing = EventAt(qpos).EnclosingNode();
+      if (ResolveEvent(qpos)) TryPruneEnclosing(enclosing);
+    }
+    // A resolution may make other instances' candidates decidable.
+    SettleCandidates();
+  }
+}
+
 void RuleEvaluator::Resolve() {
-  if (SettleCandidates()) instances_dirty_ = true;
-
-  if (!instances_dirty_) {
-    // No predicate changed state, so no earlier event's decision can have
-    // changed: only the newly queued event needs a look — plus, when it is
-    // a close, the matching open: a denied element becomes prunable
-    // exactly when it closes, and that check lives on its open event.
-    // This keeps long pending stretches linear instead of rescanning the
-    // queue per event.
-    if (!queue_.empty()) {
-      OutEvent& last = queue_.back();
-      if (last.ev.kind == xml::EventKind::kClose &&
-          last.node->open_state == NodeRec::OpenState::kUndecided) {
-        ResolveEvent(EventAt(last.node->open_qpos));
-      }
-      ResolveEvent(last);
+  SettleCandidates();
+  // Tail path: the newly queued event — plus, when it is a close, the
+  // matching open: a denied element becomes prunable exactly when it
+  // closes, and that check lives on its open event.
+  if (!queue_.empty()) {
+    OutEvent& last = queue_.back();
+    if (last.ev.kind == xml::EventKind::kClose &&
+        last.node->open_state == NodeRec::OpenState::kUndecided) {
+      ResolveEvent(last.node->open_qpos);
     }
-    return;
+    ResolveEvent(queue_base_ + queue_.size() - 1);
   }
-  instances_dirty_ = false;
-
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    if (SettleCandidates()) changed = true;
-    for (size_t q = queue_base_; q < queue_base_ + queue_.size(); ++q) {
-      if (ResolveEvent(EventAt(q))) changed = true;
-    }
-  }
+  DrainWave();
 }
 
 void RuleEvaluator::Flush() {
   stats_.peak_buffered = std::max(stats_.peak_buffered, queue_.size());
   while (!queue_.empty() &&
-         queue_.front().status != OutEvent::S::kUndecided) {
+         queue_.front().status != EventStatus::kUndecided) {
     OutEvent& e = queue_.front();
-    if (e.status == OutEvent::S::kEmit) {
+    if (e.status == EventStatus::kEmit) {
       ++stats_.events_emitted;
       switch (e.ev.kind) {
         case xml::EventKind::kOpen:
@@ -366,8 +483,7 @@ void RuleEvaluator::OnOpen(const std::string& tag, int depth) {
     for (CondSet& conds : fulls) {
       if (inst->pred->op == xpath::CompareOp::kExists) {
         if (EvalConds(conds) == CondState::kTrue) {
-          inst->state = PredInstance::State::kTrue;
-          instances_dirty_ = true;
+          SettleInstance(inst, PredInstance::State::kTrue);
         } else {
           inst->candidates.push_back(std::move(conds));
         }
@@ -397,8 +513,11 @@ void RuleEvaluator::OnOpen(const std::string& tag, int depth) {
   node->parent = element_stack_.empty() ? nullptr : element_stack_.back();
   node->hits = std::move(own_hits);
   node->open_qpos = queue_base_ + queue_.size();
+  for (NodeRec* n = node->parent.get(); n != nullptr; n = n->parent.get()) {
+    ++n->undecided_inside;
+  }
   element_stack_.push_back(node);
-  queue_.push_back({xml::Event::Open(tag), depth, OutEvent::S::kUndecided,
+  queue_.push_back({xml::Event::Open(tag), depth, EventStatus::kUndecided,
                     std::move(node)});
 
   Resolve();
@@ -418,7 +537,10 @@ void RuleEvaluator::OnValue(const std::string& value, int depth) {
 
   std::shared_ptr<NodeRec> parent =
       element_stack_.empty() ? nullptr : element_stack_.back();
-  queue_.push_back({xml::Event::Value(value), depth, OutEvent::S::kUndecided,
+  for (NodeRec* n = parent.get(); n != nullptr; n = n->parent.get()) {
+    ++n->undecided_inside;
+  }
+  queue_.push_back({xml::Event::Value(value), depth, EventStatus::kUndecided,
                     std::move(parent)});
 
   Resolve();
@@ -446,8 +568,7 @@ void RuleEvaluator::OnClose(const std::string& tag, int depth) {
         if (xpath::EvalCompare(inst->pred->op, it->value,
                                inst->pred->literal)) {
           if (EvalConds(it->conds) == CondState::kTrue) {
-            inst->state = PredInstance::State::kTrue;
-            instances_dirty_ = true;
+            SettleInstance(inst, PredInstance::State::kTrue);
           } else {
             inst->candidates.push_back(std::move(it->conds));
           }
@@ -462,12 +583,11 @@ void RuleEvaluator::OnClose(const std::string& tag, int depth) {
   // Give nested resolutions a chance to settle candidates before roots
   // closing at this depth are forced false (no satisfying match by now
   // means the predicate failed).
-  if (SettleCandidates()) instances_dirty_ = true;
+  SettleCandidates();
   for (auto& inst : instances_) {
     if (inst->state != PredInstance::State::kPending) continue;
     if (inst->root_depth == depth) {
-      inst->state = PredInstance::State::kFalse;
-      instances_dirty_ = true;
+      SettleInstance(inst, PredInstance::State::kFalse);
     }
   }
 
@@ -476,7 +596,10 @@ void RuleEvaluator::OnClose(const std::string& tag, int depth) {
   element_stack_.pop_back();
   node->closed = true;
   node->close_qpos = queue_base_ + queue_.size();
-  queue_.push_back({xml::Event::Close(tag), depth, OutEvent::S::kUndecided,
+  for (NodeRec* n = node->parent.get(); n != nullptr; n = n->parent.get()) {
+    ++n->undecided_inside;
+  }
+  queue_.push_back({xml::Event::Close(tag), depth, EventStatus::kUndecided,
                     node});
 
   Resolve();

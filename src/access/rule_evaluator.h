@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,6 +20,35 @@ enum class Decision {
   kDeny,
   kPermit,
   kPending,
+};
+
+/// What the Skip index reveals about the subtree of the element that was
+/// just opened. Consumed by RuleEvaluator::SubtreeDecision; produced by the
+/// pipeline from the navigator's decoded descendant-tag bitmap
+/// (TCSB/TCSBR), or left at its defaults for streams without tag
+/// information (TCS: skipping is still possible when no automaton holds a
+/// live token for the subtree).
+struct SubtreeFacts {
+  /// True when the encoding carries a descendant-tag bitmap.
+  bool tags_known = false;
+  /// True when the bitmap is empty: no element can occur strictly below
+  /// (leaf element). Only meaningful when tags_known.
+  bool no_elements_below = false;
+  /// Whether an element named `tag` can appear strictly below. Only
+  /// consulted when tags_known && !no_elements_below.
+  std::function<bool(const std::string&)> may_contain;
+};
+
+/// Answer of the per-element skip oracle.
+enum class SkipDecision {
+  /// The subtree may contain authorized content, a deeper target that
+  /// grants, or evidence a pending predicate needs — it must be streamed.
+  kDescend,
+  /// The element is irrevocably denied and the subtree is provably inert:
+  /// no live token of a positive rule can complete below it and no pending
+  /// predicate can gather evidence there. Pruning it unseen cannot change
+  /// the authorized view.
+  kSkip,
 };
 
 namespace internal {
@@ -70,6 +100,14 @@ class PathMatcher {
               std::vector<CondSet>* full_matches);
   void OnClose(int depth);
 
+  /// Skip-oracle reachability: true if some live token could still produce
+  /// a full match strictly below the most recently opened element, given
+  /// `facts`. A token is live when it sits in the top frame; it is feasible
+  /// when every remaining named step's tag can occur in the subtree
+  /// (wildcards pass as long as any element can occur at all). Conservative
+  /// in the descend direction: never rules out a reachable match.
+  bool CanCompleteWithin(const SubtreeFacts& facts) const;
+
  private:
   const std::vector<xpath::Step>* steps_;
   int base_depth_;
@@ -102,6 +140,13 @@ struct PredInstance {
   };
   std::vector<Collection> collections;
 
+  /// Queue positions (absolute) of buffered events whose decision is
+  /// blocked on this instance. When the instance resolves, exactly these
+  /// events are re-examined — resolution waves no longer rescan the whole
+  /// buffer. May hold stale entries (events decided through another
+  /// instance); those are skipped by a status check.
+  std::vector<size_t> watchers;
+
   PredInstance(const xpath::Predicate* p, int depth)
       : pred(p), root_depth(depth), matcher(&p->steps, depth) {}
 };
@@ -126,6 +171,12 @@ struct PredInstance {
 /// buffered (the paper's *pending* parts) and released — in document
 /// order — as soon as the predicates resolve, at the latest when the
 /// enclosing subtree closes. Output order is always document order.
+///
+/// The evaluator also acts as the *skip oracle* of the SOE pipeline
+/// (Section 4.1): after each open event, SubtreeDecision() reports whether
+/// the automata's token analysis proves the subtree inert, letting the
+/// driver skip it via the index's size fields before any of its bytes are
+/// transferred or decrypted.
 class RuleEvaluator : public xml::EventHandler,
                       private internal::RuleEvaluatorContext {
  public:
@@ -138,6 +189,21 @@ class RuleEvaluator : public xml::EventHandler,
   void OnValue(const std::string& value, int depth) override;
   void OnClose(const std::string& tag, int depth) override;
 
+  /// Skip oracle. Must be called right after OnOpen(tag, depth) and before
+  /// the next event; `depth` must be the just-opened element's depth.
+  /// Returns kSkip only when eliding the entire subtree (the pipeline then
+  /// feeds the matching OnClose directly) provably leaves the authorized
+  /// view byte-identical:
+  ///
+  ///  1. the element's decision is an irrevocable deny (most-specific
+  ///     resolved denial or closed world — not merely pending), and
+  ///  2. no pending predicate instance could match or collect a value
+  ///     inside the subtree, and
+  ///  3. no live token of a *positive* rule automaton can reach a full
+  ///     match inside the subtree (a deeper target could flip the denial);
+  ///     negative-rule tokens are irrelevant below an irrevocable deny.
+  SkipDecision SubtreeDecision(const SubtreeFacts& facts, int depth);
+
   /// Must be called after the last event: verifies every buffered event
   /// was resolved and flushed (it is, for any well-nested stream).
   Status Finish();
@@ -149,24 +215,35 @@ class RuleEvaluator : public xml::EventHandler,
     uint64_t rule_hits = 0;           ///< Full rule matches (targets found).
     uint64_t predicates_spawned = 0;  ///< Pending predicate instances.
     size_t peak_buffered = 0;         ///< Max events held back at once.
+    uint64_t skip_checks = 0;         ///< SubtreeDecision() queries.
+    uint64_t skips_advised = 0;       ///< ... that answered kSkip.
   };
   const Stats& stats() const { return stats_; }
 
  private:
   struct NodeRec;
   struct OutEvent;
+  enum class EventStatus { kUndecided, kEmit, kDrop };
 
   // internal::RuleEvaluatorContext
   std::shared_ptr<internal::PredInstance> Spawn(const xpath::Predicate* pred,
                                                 int depth) override;
 
-  Decision Decide(const NodeRec& node) const;
-  bool SettleCandidates();          ///< Predicate-candidate fixpoint.
-  bool ResolveEvent(OutEvent& e);   ///< Decides one buffered event if possible.
-  void Resolve();      ///< Propagates predicate resolutions to statuses.
+  /// Decides `node`; when the result hinges on pending predicates, the
+  /// instances encountered are appended to `blockers` (if non-null) so the
+  /// caller can subscribe the blocked event to exactly those instances.
+  Decision Decide(const NodeRec& node,
+                  internal::CondSet* blockers = nullptr) const;
+  void SettleCandidates();          ///< Predicate-candidate fixpoint.
+  void SettleInstance(const std::shared_ptr<internal::PredInstance>& inst,
+                      internal::PredInstance::State state);
+  bool ResolveEvent(size_t qpos);   ///< Decides one buffered event if possible.
+  void Resolve();      ///< Examines the tail event, then drains the wave.
+  void DrainWave();    ///< Re-examines watchers of newly settled instances.
+  void TryPruneEnclosing(NodeRec* node);
   void Flush();        ///< Emits/drops the decided queue prefix.
   void ForceEmit(NodeRec* node);
-  bool SubtreeDecided(const NodeRec& node) const;
+  void MarkStatus(OutEvent& e, EventStatus status);
   OutEvent& EventAt(size_t qpos);
 
   std::vector<AccessRule> rules_;
@@ -183,9 +260,9 @@ class RuleEvaluator : public xml::EventHandler,
   std::vector<std::shared_ptr<NodeRec>> element_stack_;
   std::deque<OutEvent> queue_;
   size_t queue_base_ = 0;  ///< Absolute position of queue_.front().
-  /// Some predicate instance changed state since the last full sweep, so
-  /// earlier buffered events may now be decidable.
-  bool instances_dirty_ = false;
+  /// Instances that left kPending since the last DrainWave(): their
+  /// watcher lists are the only buffered events a resolution wave touches.
+  std::vector<std::shared_ptr<internal::PredInstance>> wave_;
 
   Stats stats_;
 };

@@ -58,10 +58,17 @@ uint64_t RangeResponse::WireBytes() const {
 std::vector<uint8_t> SoeDecryptor::SealDigest(const PositionCipher& cipher,
                                               uint64_t chunk_index,
                                               const Sha1Digest& root,
-                                              uint64_t total_blocks) {
+                                              uint64_t total_blocks,
+                                              uint32_t version) {
   Sha1Digest bound = BindChunkIndex(chunk_index, root);
   std::vector<uint8_t> padded(bound.begin(), bound.end());
   padded.resize(24, 0);
+  // The document version fills the padding: replaying a chunk (and its
+  // self-consistent digest) from a stale store state decrypts to the old
+  // version number and is rejected.
+  for (int i = 0; i < 4; ++i) {
+    padded[20 + i] = static_cast<uint8_t>(version >> (24 - 8 * i));
+  }
   // Digests live in their own position space beyond the document blocks so
   // that a digest ciphertext can never be replayed as document content or
   // as another chunk's digest.
@@ -70,11 +77,12 @@ std::vector<uint8_t> SoeDecryptor::SealDigest(const PositionCipher& cipher,
 
 Result<SecureDocumentStore> SecureDocumentStore::Build(
     const std::vector<uint8_t>& plaintext, const TripleDes::Key& key,
-    const ChunkLayout& layout) {
+    const ChunkLayout& layout, uint32_t version) {
   CSXA_RETURN_NOT_OK(layout.Validate());
   SecureDocumentStore store;
   store.layout_ = layout;
   store.plaintext_size_ = plaintext.size();
+  store.version_ = version;
 
   PositionCipher cipher(key);
   store.ciphertext_ = cipher.Encrypt(ZeroPadToBlock(plaintext));
@@ -102,8 +110,8 @@ Result<SecureDocumentStore> SecureDocumentStore::Build(
                                   frag_end - frag_begin));
     }
     MerkleTree tree = MerkleTree::Build(std::move(leaves));
-    store.digests_.push_back(
-        SoeDecryptor::SealDigest(cipher, c, tree.root(), total_blocks));
+    store.digests_.push_back(SoeDecryptor::SealDigest(cipher, c, tree.root(),
+                                                      total_blocks, version));
   }
   return store;
 }
@@ -192,12 +200,28 @@ void SecureDocumentStore::SwapChunkDigests(uint64_t chunk_a, uint64_t chunk_b) {
   }
 }
 
+void SecureDocumentStore::ReplayChunkFrom(const SecureDocumentStore& old,
+                                          uint64_t chunk) {
+  if (chunk >= digests_.size() || chunk >= old.digests_.size()) return;
+  uint64_t begin = chunk * layout_.chunk_size;
+  uint64_t end = std::min<uint64_t>(begin + layout_.chunk_size,
+                                    ciphertext_.size());
+  uint64_t old_end = std::min<uint64_t>(begin + layout_.chunk_size,
+                                        old.ciphertext_.size());
+  if (old_end < end) return;
+  std::copy(old.ciphertext_.begin() + begin, old.ciphertext_.begin() + end,
+            ciphertext_.begin() + begin);
+  digests_[chunk] = old.digests_[chunk];
+}
+
 SoeDecryptor::SoeDecryptor(const TripleDes::Key& key, ChunkLayout layout,
-                           uint64_t plaintext_size, uint64_t chunk_count)
+                           uint64_t plaintext_size, uint64_t chunk_count,
+                           uint32_t expected_version)
     : cipher_(key),
       layout_(layout),
       plaintext_size_(plaintext_size),
-      chunk_count_(chunk_count) {}
+      chunk_count_(chunk_count),
+      expected_version_(expected_version) {}
 
 Result<std::vector<uint8_t>> SoeDecryptor::DecryptVerified(
     const RangeResponse& resp, uint64_t pos, uint64_t n) {
@@ -277,11 +301,28 @@ Result<std::vector<uint8_t>> SoeDecryptor::DecryptVerified(
                                     root.status().message());
     }
     counters_.hash_combines += mat.proof.size() + range_leaves.size();
-    std::vector<uint8_t> expected =
-        SealDigest(cipher_, c, root.value(), total_blocks);
-    counters_.digest_bytes_decrypted += expected.size();
-    if (expected != mat.encrypted_digest) {
+    if (mat.encrypted_digest.size() != 24) {
+      return Status::IntegrityError("chunk digest has wrong size");
+    }
+    // Decrypt the shipped digest (rather than comparing ciphertexts) so a
+    // version mismatch — a replayed stale chunk whose hash checks out
+    // against its own stale digest — is distinguishable from tampering.
+    std::vector<uint8_t> digest_plain =
+        cipher_.Decrypt(mat.encrypted_digest, total_blocks + c * 3);
+    counters_.digest_bytes_decrypted += digest_plain.size();
+    uint32_t digest_version = 0;
+    for (int i = 0; i < 4; ++i) {
+      digest_version = (digest_version << 8) | digest_plain[20 + i];
+    }
+    Sha1Digest bound = BindChunkIndex(c, root.value());
+    if (!std::equal(bound.begin(), bound.end(), digest_plain.begin())) {
       return Status::IntegrityError("chunk digest mismatch (tampered data?)");
+    }
+    if (digest_version != expected_version_) {
+      return Status::IntegrityError(
+          "stale chunk digest: version " + std::to_string(digest_version) +
+          ", expected " + std::to_string(expected_version_) +
+          " (replayed document state?)");
     }
   }
 

@@ -60,15 +60,19 @@ class SecureDocumentStore {
  public:
   /// Encrypts `plaintext` (zero-padded to a block) and builds the chunk
   /// digests. The ChunkDigest binds the chunk index (preventing whole-chunk
-  /// transposition) and is encrypted with the document key so the terminal
-  /// cannot re-derive digests for tampered data.
+  /// transposition) and the document `version` (Section 6: versioning
+  /// counters replay of stale document states — an SOE expecting version v
+  /// rejects digests sealed for v-1), and is encrypted with the document
+  /// key so the terminal cannot re-derive digests for tampered data.
   static Result<SecureDocumentStore> Build(const std::vector<uint8_t>& plaintext,
                                            const TripleDes::Key& key,
-                                           const ChunkLayout& layout);
+                                           const ChunkLayout& layout,
+                                           uint32_t version = 0);
 
   uint64_t plaintext_size() const { return plaintext_size_; }
   const ChunkLayout& layout() const { return layout_; }
   uint64_t chunk_count() const { return digests_.size(); }
+  uint32_t version() const { return version_; }
   const std::vector<uint8_t>& ciphertext() const { return ciphertext_; }
 
   /// Serves `[pos, pos+n)` with integrity material. Terminal-side hashing
@@ -84,10 +88,15 @@ class SecureDocumentStore {
   /// Replaces a chunk's encrypted digest with another chunk's (digest
   /// transposition attack).
   void SwapChunkDigests(uint64_t chunk_a, uint64_t chunk_b);
+  /// Replaces one chunk (ciphertext + digest) with the same chunk of an
+  /// older store state (replay attack: a terminal serving a stale —
+  /// internally consistent — version of updated data).
+  void ReplayChunkFrom(const SecureDocumentStore& old, uint64_t chunk);
 
  private:
   ChunkLayout layout_;
   uint64_t plaintext_size_ = 0;
+  uint32_t version_ = 0;
   std::vector<uint8_t> ciphertext_;
   std::vector<std::vector<uint8_t>> digests_;  // encrypted, 24 bytes each
 };
@@ -97,8 +106,12 @@ class SecureDocumentStore {
 /// then releases plaintext.
 class SoeDecryptor {
  public:
+  /// `expected_version` is the document version the SOE believes current
+  /// (delivered out of band with the key); a digest sealed for any other
+  /// version is rejected as a replayed stale state.
   SoeDecryptor(const TripleDes::Key& key, ChunkLayout layout,
-               uint64_t plaintext_size, uint64_t chunk_count);
+               uint64_t plaintext_size, uint64_t chunk_count,
+               uint32_t expected_version = 0);
 
   /// Verifies integrity of `resp` and decrypts exactly the bytes
   /// [pos, pos+n) of the document. Returns IntegrityError on any mismatch.
@@ -115,17 +128,21 @@ class SoeDecryptor {
   const Counters& counters() const { return counters_; }
 
   /// Computes what a chunk's encrypted digest must be; exposed so that
-  /// Build and tests share one definition.
+  /// Build and tests share one definition. The 24-byte plaintext is the
+  /// index-bound root hash (20 bytes) followed by the big-endian document
+  /// version (4 bytes).
   static std::vector<uint8_t> SealDigest(const PositionCipher& cipher,
                                          uint64_t chunk_index,
                                          const Sha1Digest& root,
-                                         uint64_t total_blocks);
+                                         uint64_t total_blocks,
+                                         uint32_t version);
 
  private:
   PositionCipher cipher_;
   ChunkLayout layout_;
   uint64_t plaintext_size_;
   uint64_t chunk_count_;
+  uint32_t expected_version_;
   Counters counters_;
 };
 

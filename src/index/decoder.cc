@@ -149,6 +149,7 @@ Result<DocumentNavigator::Item> DocumentNavigator::NextPacked() {
     }
     frames_.push_back(std::move(frame));
     depth_ = 1;
+    item.subtree_bits = root_size_bits_;
     item.kind = ItemKind::kOpen;
     item.depth = 1;
     item.tag_id = static_cast<xml::TagId>(tag.value());
@@ -234,6 +235,7 @@ Result<DocumentNavigator::Item> DocumentNavigator::NextPacked() {
   }
   frames_.push_back(std::move(frame));
   ++depth_;
+  item.subtree_bits = size.value();
   item.kind = ItemKind::kOpen;
   item.depth = depth_;
   item.tag_id = tag_id;

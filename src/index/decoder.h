@@ -52,6 +52,10 @@ class DocumentNavigator {
     /// strictly below it) — has_desc=false for TC/TCS streams.
     bool has_desc = false;
     std::vector<xml::TagId> desc;
+    /// kOpen only: remaining bits of the element's children region — what
+    /// SkipSubtree() would jump over without fetching. 0 for TC streams
+    /// (no size fields).
+    uint64_t subtree_bits = 0;
   };
 
   /// Opens over a fully materialized document. `doc` must outlive the

@@ -1,0 +1,127 @@
+#ifndef CSXA_PIPELINE_SECURE_PIPELINE_H_
+#define CSXA_PIPELINE_SECURE_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "access/access_rule.h"
+#include "access/rule_evaluator.h"
+#include "common/status.h"
+#include "crypto/secure_store.h"
+#include "index/decoder.h"
+#include "index/variants.h"
+
+namespace csxa::pipeline {
+
+/// Knobs of the navigate→evaluate driver.
+struct DriveOptions {
+  /// Consult the evaluator's skip oracle at each open event and jump inert
+  /// subtrees via the index's size fields. Off = faithful full streaming
+  /// (the reference the skip path must be byte-identical to).
+  bool enable_skip = true;
+};
+
+/// What the driver did with the event stream.
+struct DriveStats {
+  uint64_t opens = 0;
+  uint64_t values = 0;
+  uint64_t closes = 0;
+  uint64_t skips = 0;          ///< Subtrees pruned before being fetched.
+  uint64_t skipped_bits = 0;   ///< Encoded bits those subtrees span.
+};
+
+/// The SOE-side driver of the paper's architecture: owns the
+/// navigate→evaluate loop and *inverts* it relative to naive streaming.
+/// Instead of pulling every event and letting the evaluator prune after
+/// the fact, the driver consults the evaluator's token analysis
+/// (RuleEvaluator::SubtreeDecision) at each element open — when the rule
+/// automata prove the subtree inert, it calls SkipSubtree() *before* any
+/// of the subtree's fragments are fetched, so forbidden or irrelevant
+/// bytes never cross the terminal→SOE boundary (Section 4.1's reason for
+/// the Skip index to exist).
+class SecurePipeline {
+ public:
+  /// `nav` and `eval` must outlive the pipeline. The evaluator's output
+  /// handler receives the authorized view.
+  SecurePipeline(index::DocumentNavigator* nav, access::RuleEvaluator* eval,
+                 DriveOptions options = {});
+
+  /// Drives the whole document (or what remains of it) through the
+  /// evaluator, skipping as allowed, and finishes the evaluator.
+  Status Run();
+
+  const DriveStats& stats() const { return stats_; }
+
+ private:
+  index::DocumentNavigator* nav_;
+  access::RuleEvaluator* eval_;
+  DriveOptions options_;
+  DriveStats stats_;
+};
+
+/// One encrypted document hosted by an untrusted terminal, with everything
+/// needed to serve authorized views to SOE-side sessions. Bundles the
+/// owner-side preparation (parse → encode → encrypt → digest) and the
+/// per-request SOE chain (fresh decryptor → lazy verified fetcher →
+/// navigator → evaluator → pipeline), so the demo, the benchmark and the
+/// tests measure exactly the same code path.
+struct SessionConfig {
+  index::Variant variant = index::Variant::kTcsbr;
+  crypto::ChunkLayout layout;
+  crypto::TripleDes::Key key{};
+  uint32_t version = 0;       ///< Document version bound into ChunkDigests.
+  bool enable_skip = true;    ///< DriveOptions::enable_skip for Serve().
+};
+
+/// Cost-model counters of one Serve() run (the quantities of the paper's
+/// Section 5 / Figure 8 comparison).
+struct ServeReport {
+  std::string view;                      ///< Serialized authorized view.
+  DriveStats drive;
+  access::RuleEvaluator::Stats eval;
+  uint64_t encoded_bytes = 0;            ///< Size of the encoded image.
+  uint64_t wire_bytes = 0;               ///< Terminal→SOE channel traffic.
+  uint64_t bytes_fetched = 0;            ///< Plaintext materialized.
+  uint64_t requests = 0;                 ///< Terminal round trips.
+  crypto::SoeDecryptor::Counters soe;    ///< Decrypt/hash work in the SOE.
+};
+
+class SecureSession {
+ public:
+  /// Owner side: parses `xml`, encodes it under cfg.variant and hands the
+  /// encrypted image to the (simulated) terminal store.
+  static Result<SecureSession> Build(const std::string& xml,
+                                     const SessionConfig& cfg);
+
+  /// SOE side: serves the authorized view for `rules` (already selected
+  /// for the requesting subject) with fresh cost counters. The overload
+  /// overrides the config's enable_skip, so skip-vs-full comparisons reuse
+  /// one owner-side build (parse/encode/encrypt happen once).
+  Result<ServeReport> Serve(
+      const std::vector<access::AccessRule>& rules) const {
+    return Serve(rules, cfg_.enable_skip);
+  }
+  Result<ServeReport> Serve(const std::vector<access::AccessRule>& rules,
+                            bool enable_skip) const;
+
+  const crypto::SecureDocumentStore& store() const { return store_; }
+  /// Attack-emulation hooks (TamperByte etc.) for tests.
+  crypto::SecureDocumentStore* mutable_store() { return &store_; }
+  uint64_t encoded_bytes() const { return encoded_bytes_; }
+
+ private:
+  SecureSession(SessionConfig cfg, crypto::SecureDocumentStore store,
+                uint64_t encoded_bytes)
+      : cfg_(std::move(cfg)),
+        store_(std::move(store)),
+        encoded_bytes_(encoded_bytes) {}
+
+  SessionConfig cfg_;
+  crypto::SecureDocumentStore store_;
+  uint64_t encoded_bytes_;
+};
+
+}  // namespace csxa::pipeline
+
+#endif  // CSXA_PIPELINE_SECURE_PIPELINE_H_

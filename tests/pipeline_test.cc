@@ -13,6 +13,7 @@
 #include "index/decoder.h"
 #include "index/encoder.h"
 #include "index/secure_fetcher.h"
+#include "pipeline/secure_pipeline.h"
 #include "testing.h"
 #include "xml/node.h"
 #include "xml/sax_parser.h"
@@ -63,31 +64,14 @@ std::string DirectView(const std::string& xml) {
 Result<std::string> SecureView(const std::string& xml,
                                index::Variant variant,
                                const crypto::ChunkLayout& layout) {
-  CSXA_ASSIGN_OR_RETURN(auto dom, xml::SaxParser::ParseToDom(xml));
-  CSXA_ASSIGN_OR_RETURN(index::EncodedDocument doc,
-                        index::Encode(*dom, variant));
-  CSXA_ASSIGN_OR_RETURN(
-      crypto::SecureDocumentStore store,
-      crypto::SecureDocumentStore::Build(doc.bytes, TestKey(), layout));
-  crypto::SoeDecryptor soe(TestKey(), layout, store.plaintext_size(),
-                           store.chunk_count());
-  index::SecureFetcher fetcher(&store, &soe);
-  CSXA_ASSIGN_OR_RETURN(
-      auto nav,
-      index::DocumentNavigator::OpenBuffer(fetcher.data(), fetcher.size(),
-                                           &fetcher));
-  xml::SerializingHandler ser;
-  access::RuleEvaluator eval(TestRules(), &ser);
-  while (true) {
-    CSXA_ASSIGN_OR_RETURN(auto item, nav->Next());
-    using K = index::DocumentNavigator::ItemKind;
-    if (item.kind == K::kEnd) break;
-    if (item.kind == K::kOpen) eval.OnOpen(item.tag, item.depth);
-    if (item.kind == K::kValue) eval.OnValue(item.value, item.depth);
-    if (item.kind == K::kClose) eval.OnClose(item.tag, item.depth);
-  }
-  CSXA_RETURN_NOT_OK(eval.Finish());
-  return ser.output();
+  pipeline::SessionConfig cfg;
+  cfg.variant = variant;
+  cfg.layout = layout;
+  cfg.key = TestKey();
+  CSXA_ASSIGN_OR_RETURN(auto session, pipeline::SecureSession::Build(xml, cfg));
+  CSXA_ASSIGN_OR_RETURN(pipeline::ServeReport report,
+                        session.Serve(TestRules()));
+  return report.view;
 }
 
 TEST(SecureViewMatchesDirectView) {

@@ -1,0 +1,313 @@
+// Skip-navigation tests: the evaluator-driven skip path must serialize a
+// byte-identical authorized view to full streaming for every encoding
+// variant and rule set, the Skip-index variants (TCSB/TCSBR) must
+// strictly reduce transferred/decrypted bytes on bitmap-pruning
+// scenarios, and the skip oracle itself must distinguish "denied forever"
+// from "denied but a deeper target rule might grant".
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "access/access_rule.h"
+#include "access/rule_evaluator.h"
+#include "pipeline/secure_pipeline.h"
+#include "testing.h"
+#include "xml/sax_parser.h"
+#include "xml/serializer.h"
+
+namespace {
+
+using namespace csxa;  // NOLINT
+
+crypto::TripleDes::Key TestKey() {
+  crypto::TripleDes::Key key{};
+  for (size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<uint8_t>(0x5a ^ (i * 13));
+  }
+  return key;
+}
+
+std::string TestDocument() {
+  std::string xml = "<Hospital>";
+  for (int f = 0; f < 3; ++f) {
+    xml += "<Folder><Admin><Name>Patient-" + std::to_string(f) + "</Name>";
+    xml += "<SSN>123-45-" + std::to_string(f) + "</SSN>";
+    xml += "<Insurance>provider notes provider notes provider notes "
+           "provider notes for folder " + std::to_string(f) + "</Insurance>";
+    xml += "<Billing><Item>invoice-a</Item><Item>invoice-b</Item>"
+           "<Item>invoice-c</Item></Billing></Admin>";
+    xml += "<MedActs>";
+    for (int c = 0; c < 2; ++c) {
+      xml += "<Consult><Date>2004-01-1" + std::to_string(c) + "</Date>";
+      if (f == 1 && c == 0) xml += "<Protocol>double-blind</Protocol>";
+      xml += "<Diagnostic>seasonal flu, bed rest advised</Diagnostic>";
+      xml += "<Prescription>rx-" + std::to_string(f * 10 + c) +
+             "</Prescription></Consult>";
+    }
+    // Type after Comments in odd folders: pending parts under skipping.
+    std::string type = std::string("<Type>") + (f % 2 ? "G3" : "G2") +
+                       "</Type>";
+    std::string comments = "<Comments>cholesterol is borderline high, "
+                           "recheck in six months</Comments>";
+    xml += "<Analysis>" +
+           (f % 2 ? comments + "<Cholesterol>260</Cholesterol>" + type
+                  : type + "<Cholesterol>180</Cholesterol>" + comments) +
+           "</Analysis>";
+    xml += "</MedActs></Folder>";
+  }
+  xml += "</Hospital>";
+  return xml;
+}
+
+const char* const kRuleSets[] = {
+    // Closed world, child-axis grant only.
+    "+ /Hospital/Folder/MedActs\n",
+    // Descendant-axis needle.
+    "+ //Prescription\n",
+    // The running example: specific re-grant inside a denial + comparison
+    // predicate.
+    "+ /Hospital/Folder\n"
+    "- /Hospital/Folder/Admin\n"
+    "+ /Hospital/Folder/Admin/Name\n"
+    "- //Analysis[Type = G3]/Comments\n",
+    // Wildcard step.
+    "+ /Hospital/*/MedActs/Consult/Prescription\n",
+    // Deny-all with a rare descendant grant.
+    "- /Hospital\n"
+    "+ //Protocol\n",
+    // Existence predicate over a subtree.
+    "+ //Consult[Protocol]\n",
+    // No rules at all: everything denied, everything skippable.
+    "",
+};
+
+std::vector<access::AccessRule> ParseRules(const std::string& text) {
+  auto rules = access::ParseRuleList(text);
+  CHECK_OK(rules.status());
+  return rules.ok() ? rules.take() : std::vector<access::AccessRule>{};
+}
+
+/// Oracle-free reference: evaluate straight from the SAX parser.
+std::string DirectView(const std::string& xml,
+                       const std::vector<access::AccessRule>& rules) {
+  xml::SerializingHandler ser;
+  access::RuleEvaluator eval(rules, &ser);
+  CHECK_OK(xml::SaxParser::Parse(xml, &eval));
+  CHECK_OK(eval.Finish());
+  return ser.output();
+}
+
+Result<pipeline::ServeReport> Serve(const std::string& xml,
+                                    index::Variant variant, bool enable_skip,
+                                    const std::vector<access::AccessRule>&
+                                        rules) {
+  pipeline::SessionConfig cfg;
+  cfg.variant = variant;
+  cfg.layout.chunk_size = 256;
+  cfg.layout.fragment_size = 32;
+  cfg.key = TestKey();
+  CSXA_ASSIGN_OR_RETURN(auto session, pipeline::SecureSession::Build(xml, cfg));
+  return session.Serve(rules, enable_skip);
+}
+
+TEST(SkipViewIdenticalAcrossVariantsAndRuleSets) {
+  const std::string xml = TestDocument();
+  for (const char* rules_text : kRuleSets) {
+    auto rules = ParseRules(rules_text);
+    const std::string expected = DirectView(xml, rules);
+    for (auto variant : {index::Variant::kTc, index::Variant::kTcs,
+                         index::Variant::kTcsb, index::Variant::kTcsbr}) {
+      auto skip = Serve(xml, variant, /*enable_skip=*/true, rules);
+      auto full = Serve(xml, variant, /*enable_skip=*/false, rules);
+      CHECK_OK(skip.status());
+      CHECK_OK(full.status());
+      if (!skip.ok() || !full.ok()) continue;
+      CHECK_EQ(skip.value().view, expected);
+      CHECK_EQ(full.value().view, expected);
+      // Skipping can only reduce what crosses the wire.
+      CHECK(skip.value().wire_bytes <= full.value().wire_bytes);
+      CHECK(skip.value().soe.bytes_decrypted <=
+            full.value().soe.bytes_decrypted);
+    }
+  }
+}
+
+TEST(BitmapVariantsStrictlyReduceTransferOnPruningScenarios) {
+  const std::string xml = TestDocument();
+  // //Prescription keeps a live descendant token everywhere, so size
+  // fields alone (TCS) prune nothing; only the descendant-tag bitmap
+  // proves Admin/Analysis subtrees inert.
+  for (const char* rules_text : {"+ //Prescription\n",
+                                 "- /Hospital\n+ //Protocol\n"}) {
+    auto rules = ParseRules(rules_text);
+    auto tcs = Serve(xml, index::Variant::kTcs, true, rules);
+    auto tcsb = Serve(xml, index::Variant::kTcsb, true, rules);
+    auto tcsbr = Serve(xml, index::Variant::kTcsbr, true, rules);
+    CHECK_OK(tcs.status());
+    CHECK_OK(tcsb.status());
+    CHECK_OK(tcsbr.status());
+    if (!tcs.ok() || !tcsb.ok() || !tcsbr.ok()) continue;
+    CHECK(tcs.value().drive.skips == 0);
+    CHECK(tcsb.value().drive.skips > 0);
+    CHECK(tcsbr.value().drive.skips > 0);
+    CHECK(tcsb.value().wire_bytes < tcs.value().wire_bytes);
+    CHECK(tcsbr.value().wire_bytes < tcs.value().wire_bytes);
+    CHECK(tcsb.value().soe.bytes_decrypted < tcs.value().soe.bytes_decrypted);
+    CHECK(tcsbr.value().soe.bytes_decrypted <
+          tcs.value().soe.bytes_decrypted);
+    CHECK(tcsb.value().soe.bytes_hashed < tcs.value().soe.bytes_hashed);
+    // Identical views regardless.
+    CHECK_EQ(tcsb.value().view, tcs.value().view);
+    CHECK_EQ(tcsbr.value().view, tcs.value().view);
+  }
+}
+
+TEST(SizeFieldsAlonePruneWhenNoTokenSurvives) {
+  // Child-axis-only rules: under a denied Admin no positive token is
+  // alive, so even TCS (no bitmap) skips its subtrees.
+  const std::string xml = TestDocument();
+  auto rules = ParseRules("+ /Hospital/Folder/MedActs\n");
+  auto tc = Serve(xml, index::Variant::kTc, true, rules);
+  auto tcs = Serve(xml, index::Variant::kTcs, true, rules);
+  CHECK_OK(tc.status());
+  CHECK_OK(tcs.status());
+  if (!tc.ok() || !tcs.ok()) return;
+  CHECK(tc.value().drive.skips == 0);  // TC has no size fields to jump by.
+  CHECK(tcs.value().drive.skips > 0);
+  CHECK(tcs.value().wire_bytes < tc.value().wire_bytes);
+  CHECK_EQ(tcs.value().view, tc.value().view);
+}
+
+// ---------------------------------------------------------------------------
+// Skip-oracle unit tests: drive the evaluator by hand and inspect
+// SubtreeDecision's answers against hand-built subtree facts.
+// ---------------------------------------------------------------------------
+
+access::SubtreeFacts KnownTags(std::unordered_set<std::string> tags) {
+  access::SubtreeFacts facts;
+  facts.tags_known = true;
+  facts.no_elements_below = tags.empty();
+  facts.may_contain = [tags = std::move(tags)](const std::string& t) {
+    return tags.count(t) != 0;
+  };
+  return facts;
+}
+
+access::SubtreeFacts UnknownTags() { return access::SubtreeFacts{}; }
+
+TEST(OracleDistinguishesDeniedForeverFromDeeperGrant) {
+  xml::SerializingHandler ser;
+  access::RuleEvaluator eval(ParseRules("+ /a/b\n"), &ser);
+  eval.OnOpen("a", 1);
+  // `a` is denied (closed world) but the /a/b token is live: a <b> child
+  // would be granted. Without tag knowledge the oracle must descend; a
+  // bitmap without `b` proves the denial irrevocable.
+  CHECK(eval.SubtreeDecision(UnknownTags(), 1) ==
+        access::SkipDecision::kDescend);
+  CHECK(eval.SubtreeDecision(KnownTags({"b", "z"}), 1) ==
+        access::SkipDecision::kDescend);
+  CHECK(eval.SubtreeDecision(KnownTags({"z", "y"}), 1) ==
+        access::SkipDecision::kSkip);
+  CHECK(eval.SubtreeDecision(KnownTags({}), 1) ==
+        access::SkipDecision::kSkip);
+
+  // Inside <a><z>: the b-token did not survive into z's subtree — denied
+  // forever even with tags unknown.
+  eval.OnOpen("z", 2);
+  CHECK(eval.SubtreeDecision(UnknownTags(), 2) ==
+        access::SkipDecision::kSkip);
+  eval.OnClose("z", 2);
+  eval.OnClose("a", 1);
+  CHECK_OK(eval.Finish());
+  CHECK_EQ(ser.output(), "");
+}
+
+TEST(OracleRespectsDescendantAxisAndWildcards) {
+  xml::SerializingHandler ser;
+  access::RuleEvaluator eval(ParseRules("+ //x/*/y\n"), &ser);
+  eval.OnOpen("r", 1);
+  // //x keeps a token alive everywhere: only a bitmap missing x or y can
+  // prune (the wildcard step matches anything, so it never prunes).
+  CHECK(eval.SubtreeDecision(UnknownTags(), 1) ==
+        access::SkipDecision::kDescend);
+  CHECK(eval.SubtreeDecision(KnownTags({"x", "q", "y"}), 1) ==
+        access::SkipDecision::kDescend);
+  CHECK(eval.SubtreeDecision(KnownTags({"x", "q"}), 1) ==
+        access::SkipDecision::kSkip);  // no y anywhere below
+  CHECK(eval.SubtreeDecision(KnownTags({"q", "y"}), 1) ==
+        access::SkipDecision::kSkip);  // no x anywhere below
+  eval.OnClose("r", 1);
+  CHECK_OK(eval.Finish());
+}
+
+TEST(OracleNeverSkipsPermittedOrPendingElements) {
+  xml::SerializingHandler ser;
+  access::RuleEvaluator eval(
+      ParseRules("+ /a\n- /a/b[Flag]\n"), &ser);
+  eval.OnOpen("a", 1);
+  // Permitted: content must stream even though no deeper rule exists.
+  CHECK(eval.SubtreeDecision(KnownTags({"c"}), 1) ==
+        access::SkipDecision::kDescend);
+  eval.OnOpen("b", 2);
+  // Pending: [Flag] is undecided, so b may yet be denied — and the
+  // predicate's evidence lives below. Must descend.
+  CHECK(eval.SubtreeDecision(KnownTags({"Flag"}), 2) ==
+        access::SkipDecision::kDescend);
+  eval.OnClose("b", 2);
+  eval.OnClose("a", 1);
+  CHECK_OK(eval.Finish());
+  CHECK_EQ(ser.output(), "<a><b></b></a>");
+}
+
+TEST(OracleDescendsWhilePredicateEvidencePossible) {
+  // A denied sibling subtree can still hold the Type element that decides
+  // a predicate governing already-buffered events elsewhere.
+  xml::SerializingHandler ser;
+  access::RuleEvaluator eval(
+      ParseRules("+ /r/keep\n- /r[//probe]/keep\n"), &ser);
+  eval.OnOpen("r", 1);
+  eval.OnOpen("keep", 2);
+  eval.OnClose("keep", 2);
+  eval.OnOpen("junk", 2);
+  // `junk` is denied and no positive rule reaches below it — but the
+  // pending [//probe] predicate of /r could match inside: must descend if
+  // the bitmap admits a probe, may skip if it provably cannot.
+  CHECK(eval.SubtreeDecision(KnownTags({"probe"}), 2) ==
+        access::SkipDecision::kDescend);
+  CHECK(eval.SubtreeDecision(KnownTags({"noise"}), 2) ==
+        access::SkipDecision::kSkip);
+  eval.OnOpen("probe", 3);
+  eval.OnClose("probe", 3);
+  eval.OnClose("junk", 2);
+  eval.OnClose("r", 1);
+  CHECK_OK(eval.Finish());
+  // probe existed, so the denial of keep applied.
+  CHECK_EQ(ser.output(), "");
+}
+
+TEST(PipelineNeverFetchesSkippedFragments) {
+  // One small permitted element before a large denied one: the large
+  // subtree's fragments must never be requested from the terminal.
+  std::string xml = "<r><head>h</head><big>";
+  for (int i = 0; i < 200; ++i) {
+    xml += "<item>payload-" + std::to_string(i) + "</item>";
+  }
+  xml += "</big></r>";
+  auto rules = ParseRules("+ /r/head\n");
+  auto skip = Serve(xml, index::Variant::kTcsbr, true, rules);
+  auto full = Serve(xml, index::Variant::kTcsbr, false, rules);
+  CHECK_OK(skip.status());
+  CHECK_OK(full.status());
+  if (!skip.ok() || !full.ok()) return;
+  CHECK_EQ(skip.value().view, "<r><head>h</head></r>");
+  CHECK_EQ(skip.value().view, full.value().view);
+  CHECK(skip.value().drive.skips > 0);
+  // The skipped subtree dominates the document: the skip run must fetch
+  // a small fraction of what full streaming fetches.
+  CHECK(skip.value().bytes_fetched * 4 < full.value().bytes_fetched);
+  CHECK(skip.value().soe.bytes_decrypted * 4 <
+        full.value().soe.bytes_decrypted);
+}
+
+}  // namespace

@@ -1,0 +1,396 @@
+// csxa_bench — reproduces the shape of the paper's Figure 8 experiment:
+// for each encoding variant (NC, TC, TCS, TCSB, TCSBR) and a set of
+// access-control scenarios with growing rule sets, measure what crosses
+// the terminal→SOE boundary (wire bytes), what the SOE decrypts and
+// hashes, and how much the evaluator-driven skip navigation prunes —
+// while asserting every variant serves the byte-identical authorized view.
+//
+// Results are written as JSON (default BENCH_PR2.json) so successive PRs
+// can diff the perf trajectory. The run exits nonzero if any view
+// diverges or if the Skip-index variants (TCSB/TCSBR) fail to *strictly*
+// reduce transferred and decrypted bytes against TCS on the pruning
+// scenarios — the paper's headline claim.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "access/access_rule.h"
+#include "access/rule_evaluator.h"
+#include "common/status.h"
+#include "crypto/secure_store.h"
+#include "index/secure_fetcher.h"
+#include "index/variants.h"
+#include "pipeline/secure_pipeline.h"
+#include "xml/sax_parser.h"
+#include "xml/serializer.h"
+
+namespace {
+
+using namespace csxa;  // NOLINT
+
+crypto::TripleDes::Key BenchKey() {
+  crypto::TripleDes::Key key{};
+  for (size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<uint8_t>(0xc3 ^ (i * 29));
+  }
+  return key;
+}
+
+std::string Payload(const char* stem, int i, size_t n) {
+  std::string s = std::string(stem) + "-" + std::to_string(i) + "-";
+  while (s.size() < n) s += "loremipsum";
+  s.resize(n);
+  return s;
+}
+
+/// Synthetic hospital folder set in the shape of the paper's running
+/// example (Table 2's hospital dataset, scaled down): bulky administrative
+/// subtrees that most rule sets deny, medical acts with the interesting
+/// tags, and a rare Protocol tag in every eighth consult.
+std::string MakeDocument(int folders, int consults, int analyses) {
+  std::string xml = "<Hospital>";
+  for (int f = 0; f < folders; ++f) {
+    xml += "<Folder>";
+    xml += "<Admin>";
+    xml += "<Name>Patient-" + std::to_string(f) + "</Name>";
+    xml += "<SSN>" + Payload("ssn", f, 24) + "</SSN>";
+    xml += "<Insurance>" + Payload("ins", f, 120) + "</Insurance>";
+    xml += "<Billing>";
+    for (int b = 0; b < 4; ++b) {
+      xml += "<Item>" + Payload("bill", f * 10 + b, 60) + "</Item>";
+    }
+    xml += "</Billing>";
+    xml += "</Admin>";
+    xml += "<MedActs>";
+    for (int c = 0; c < consults; ++c) {
+      xml += "<Consult>";
+      xml += "<Date>2004-0" + std::to_string(1 + c % 9) + "-12</Date>";
+      xml += "<Diagnostic>" + Payload("diag", c, 48) + "</Diagnostic>";
+      if ((f * consults + c) % 8 == 0) {
+        xml += "<Protocol>" + Payload("proto", c, 32) + "</Protocol>";
+      }
+      xml += "<Prescription>" + Payload("rx", f * 100 + c, 40) +
+             "</Prescription>";
+      xml += "</Consult>";
+    }
+    for (int a = 0; a < analyses; ++a) {
+      xml += "<Analysis>";
+      // Half the analyses reveal Type after Comments: the evaluator must
+      // buffer those comments as pending parts.
+      std::string type = (f + a) % 3 == 0 ? "G3" : "G2";
+      std::string comments =
+          "<Comments>" + Payload("obs", f * 100 + a, 64) + "</Comments>";
+      std::string typed = "<Type>" + type + "</Type>";
+      std::string chol =
+          "<Cholesterol>" + std::to_string(150 + 10 * a) + "</Cholesterol>";
+      xml += a % 2 == 0 ? typed + chol + comments : comments + chol + typed;
+      xml += "</Analysis>";
+    }
+    xml += "</MedActs>";
+    xml += "</Folder>";
+  }
+  xml += "</Hospital>";
+  return xml;
+}
+
+struct Scenario {
+  std::string name;
+  std::string rules_text;
+  /// Scenarios where the descendant-tag bitmap is what enables pruning:
+  /// TCSB/TCSBR must strictly reduce wire + decrypted bytes against TCS.
+  bool bitmap_pruning = false;
+  /// Scenarios where size fields alone already prune: TCS must strictly
+  /// reduce wire bytes against TC.
+  bool size_pruning = false;
+};
+
+std::vector<Scenario> Scenarios() {
+  std::vector<Scenario> s;
+  // Closed world: only the medical acts are granted, by child-axis rules.
+  // No positive token survives into an Admin subtree, so size fields alone
+  // (TCS) suffice to skip it.
+  s.push_back({"closed_world",
+               "+ /Hospital/Folder/MedActs\n",
+               /*bitmap_pruning=*/false, /*size_pruning=*/true});
+  // Needle: one descendant-axis grant. The //Prescription token is alive
+  // everywhere, so TCS cannot prune anything — only the descendant-tag
+  // bitmap proves Admin and Analysis subtrees inert.
+  s.push_back({"needle",
+               "+ //Prescription\n",
+               /*bitmap_pruning=*/true, /*size_pruning=*/false});
+  // The running example: structure preservation, a more specific positive
+  // rule inside a denial, and a comparison predicate that buffers pending
+  // comments. Skipping must coexist with all of it.
+  s.push_back({"predicate",
+               "+ /Hospital/Folder\n"
+               "- /Hospital/Folder/Admin\n"
+               "+ /Hospital/Folder/Admin/Name\n"
+               "- //Analysis[Type = G3]/Comments\n",
+               /*bitmap_pruning=*/false, /*size_pruning=*/false});
+  // Growing descendant-axis rule sets (the X axis of the paper's rule-set
+  // complexity experiment): one live needle plus R-1 rules over tags that
+  // are rare or absent. The bitmap keeps pruning whatever R is; TCS
+  // streams everything.
+  for (int r : {4, 16}) {
+    std::string rules = "+ //Prescription\n+ //Protocol\n";
+    for (int i = 2; i < r; ++i) {
+      rules += "+ //Absent" + std::to_string(i) + "\n";
+    }
+    s.push_back({"scaling_" + std::to_string(r), rules,
+                 /*bitmap_pruning=*/true, /*size_pruning=*/false});
+  }
+  return s;
+}
+
+struct VariantRun {
+  index::Variant variant = index::Variant::kNc;
+  uint64_t encoded_bytes = 0;
+  uint64_t wire_bytes = 0;
+  uint64_t wire_bytes_full = 0;  ///< Same variant, skipping disabled.
+  uint64_t bytes_fetched = 0;
+  uint64_t bytes_decrypted = 0;
+  uint64_t bytes_hashed = 0;
+  uint64_t requests = 0;
+  uint64_t skips = 0;
+  uint64_t skipped_bytes = 0;
+  uint64_t events_in = 0;
+  uint64_t peak_buffered = 0;
+  std::string view;
+};
+
+/// NC reference point: the raw XML text is encrypted as-is; with no
+/// structure index nothing can be skipped, so the whole ciphertext crosses
+/// the wire and the SOE parses the plaintext with a SAX parser.
+Result<VariantRun> RunNc(const std::string& xml,
+                         const std::vector<access::AccessRule>& rules,
+                         const crypto::ChunkLayout& layout) {
+  VariantRun run;
+  run.variant = index::Variant::kNc;
+  std::vector<uint8_t> bytes(xml.begin(), xml.end());
+  CSXA_ASSIGN_OR_RETURN(
+      crypto::SecureDocumentStore store,
+      crypto::SecureDocumentStore::Build(bytes, BenchKey(), layout));
+  crypto::SoeDecryptor soe(BenchKey(), layout, store.plaintext_size(),
+                           store.chunk_count());
+  index::SecureFetcher fetcher(&store, &soe);
+  CSXA_RETURN_NOT_OK(fetcher.Ensure(0, fetcher.size()));
+  std::string plain(reinterpret_cast<const char*>(fetcher.data()),
+                    fetcher.size());
+  xml::SerializingHandler ser;
+  access::RuleEvaluator eval(rules, &ser);
+  CSXA_RETURN_NOT_OK(xml::SaxParser::Parse(plain, &eval));
+  CSXA_RETURN_NOT_OK(eval.Finish());
+  run.encoded_bytes = bytes.size();
+  run.wire_bytes = run.wire_bytes_full = fetcher.wire_bytes();
+  run.bytes_fetched = fetcher.bytes_fetched();
+  run.bytes_decrypted = soe.counters().bytes_decrypted;
+  run.bytes_hashed = soe.counters().bytes_hashed;
+  run.requests = fetcher.requests();
+  run.events_in = eval.stats().events_in;
+  run.peak_buffered = eval.stats().peak_buffered;
+  run.view = ser.output();
+  return run;
+}
+
+Result<VariantRun> RunVariant(const std::string& xml, index::Variant variant,
+                              const std::vector<access::AccessRule>& rules,
+                              const crypto::ChunkLayout& layout) {
+  if (variant == index::Variant::kNc) return RunNc(xml, rules, layout);
+  pipeline::SessionConfig cfg;
+  cfg.variant = variant;
+  cfg.layout = layout;
+  cfg.key = BenchKey();
+  CSXA_ASSIGN_OR_RETURN(auto session, pipeline::SecureSession::Build(xml, cfg));
+  CSXA_ASSIGN_OR_RETURN(pipeline::ServeReport report,
+                        session.Serve(rules, /*enable_skip=*/true));
+  CSXA_ASSIGN_OR_RETURN(pipeline::ServeReport full,
+                        session.Serve(rules, /*enable_skip=*/false));
+  if (full.view != report.view) {
+    return Status::Internal("skip-enabled view diverges from full streaming");
+  }
+
+  VariantRun run;
+  run.variant = variant;
+  run.encoded_bytes = report.encoded_bytes;
+  run.wire_bytes = report.wire_bytes;
+  run.wire_bytes_full = full.wire_bytes;
+  run.bytes_fetched = report.bytes_fetched;
+  run.bytes_decrypted = report.soe.bytes_decrypted;
+  run.bytes_hashed = report.soe.bytes_hashed;
+  run.requests = report.requests;
+  run.skips = report.drive.skips;
+  run.skipped_bytes = report.drive.skipped_bits / 8;
+  run.events_in = report.eval.events_in;
+  run.peak_buffered = report.eval.peak_buffered;
+  run.view = std::move(report.view);
+  return run;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void AppendVariantJson(std::string* json, const VariantRun& run,
+                       bool view_matches) {
+  auto u64 = [](uint64_t v) { return std::to_string(v); };
+  *json += "        {\"variant\": \"";
+  *json += index::VariantName(run.variant);
+  *json += "\", \"encoded_bytes\": " + u64(run.encoded_bytes);
+  *json += ", \"wire_bytes\": " + u64(run.wire_bytes);
+  *json += ", \"wire_bytes_full_stream\": " + u64(run.wire_bytes_full);
+  *json += ", \"bytes_fetched\": " + u64(run.bytes_fetched);
+  *json += ", \"bytes_decrypted\": " + u64(run.bytes_decrypted);
+  *json += ", \"bytes_hashed\": " + u64(run.bytes_hashed);
+  *json += ", \"requests\": " + u64(run.requests);
+  *json += ", \"subtree_skips\": " + u64(run.skips);
+  *json += ", \"skipped_encoded_bytes\": " + u64(run.skipped_bytes);
+  *json += ", \"events_in\": " + u64(run.events_in);
+  *json += ", \"peak_buffered\": " + u64(run.peak_buffered);
+  *json += ", \"view_matches_reference\": ";
+  *json += view_matches ? "true" : "false";
+  *json += "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int folders = 12;
+  std::string out_path = "BENCH_PR2.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--quick") {
+      folders = 4;
+    } else if (arg == "--folders" && i + 1 < argc) {
+      folders = std::atoi(argv[++i]);
+      if (folders <= 0) folders = 1;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: csxa_bench [--quick] [--folders N] [--out FILE]\n");
+      return 2;
+    }
+  }
+
+  const std::string xml = MakeDocument(folders, /*consults=*/3,
+                                       /*analyses=*/4);
+  crypto::ChunkLayout layout;
+  layout.chunk_size = 1024;
+  layout.fragment_size = 64;
+
+  const auto variants = {index::Variant::kNc, index::Variant::kTc,
+                         index::Variant::kTcs, index::Variant::kTcsb,
+                         index::Variant::kTcsbr};
+
+  std::string json = "{\n  \"benchmark\": \"csxa_skip_navigation\",\n";
+  json += "  \"pr\": 2,\n";
+  json += "  \"config\": {\"folders\": " + std::to_string(folders) +
+          ", \"document_bytes\": " + std::to_string(xml.size()) +
+          ", \"chunk_size\": " + std::to_string(layout.chunk_size) +
+          ", \"fragment_size\": " + std::to_string(layout.fragment_size) +
+          "},\n  \"scenarios\": [\n";
+
+  bool ok = true;
+  const auto scenarios = Scenarios();
+  for (size_t s = 0; s < scenarios.size(); ++s) {
+    const Scenario& sc = scenarios[s];
+    auto parsed = access::ParseRuleList(sc.rules_text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s: bad rules: %s\n", sc.name.c_str(),
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    std::vector<access::AccessRule> rules = parsed.take();
+
+    std::vector<VariantRun> runs;
+    for (index::Variant v : variants) {
+      auto run = RunVariant(xml, v, rules, layout);
+      if (!run.ok()) {
+        std::fprintf(stderr, "%s/%s: %s\n", sc.name.c_str(), VariantName(v),
+                     run.status().ToString().c_str());
+        return 2;
+      }
+      runs.push_back(std::move(run.value()));
+    }
+
+    const std::string& reference = runs.front().view;  // NC
+    json += "    {\"name\": \"" + JsonEscape(sc.name) + "\",";
+    json += " \"rules\": " + std::to_string(rules.size()) + ",";
+    json += " \"view_bytes\": " + std::to_string(reference.size()) + ",";
+    json += " \"bitmap_pruning\": ";
+    json += sc.bitmap_pruning ? "true" : "false";
+    json += ", \"variants\": [\n";
+    for (size_t r = 0; r < runs.size(); ++r) {
+      bool matches = runs[r].view == reference;
+      if (!matches) {
+        std::fprintf(stderr, "%s/%s: authorized view diverges from NC\n",
+                     sc.name.c_str(), VariantName(runs[r].variant));
+        ok = false;
+      }
+      AppendVariantJson(&json, runs[r], matches);
+      json += r + 1 < runs.size() ? ",\n" : "\n";
+    }
+    json += "      ]}";
+    json += s + 1 < scenarios.size() ? ",\n" : "\n";
+
+    // The paper's claim, enforced: index metadata must pay for itself.
+    auto run_for = [&runs](index::Variant v) -> const VariantRun& {
+      for (const VariantRun& r : runs) {
+        if (r.variant == v) return r;
+      }
+      return runs.front();  // Unreachable: all variants always run.
+    };
+    const VariantRun& tc = run_for(index::Variant::kTc);
+    const VariantRun& tcs = run_for(index::Variant::kTcs);
+    for (const VariantRun& rich : runs) {
+      if (rich.variant != index::Variant::kTcsb &&
+          rich.variant != index::Variant::kTcsbr) {
+        continue;
+      }
+      if (sc.bitmap_pruning &&
+          (rich.wire_bytes >= tcs.wire_bytes ||
+           rich.bytes_decrypted >= tcs.bytes_decrypted)) {
+        std::fprintf(stderr,
+                     "%s/%s: expected strictly fewer wire/decrypted bytes "
+                     "than TCS (wire %llu vs %llu, decrypted %llu vs %llu)\n",
+                     sc.name.c_str(), VariantName(rich.variant),
+                     static_cast<unsigned long long>(rich.wire_bytes),
+                     static_cast<unsigned long long>(tcs.wire_bytes),
+                     static_cast<unsigned long long>(rich.bytes_decrypted),
+                     static_cast<unsigned long long>(tcs.bytes_decrypted));
+        ok = false;
+      }
+    }
+    if (sc.size_pruning && tcs.wire_bytes >= tc.wire_bytes) {
+      std::fprintf(stderr,
+                   "%s: expected TCS to transfer strictly less than TC "
+                   "(%llu vs %llu)\n",
+                   sc.name.c_str(),
+                   static_cast<unsigned long long>(tcs.wire_bytes),
+                   static_cast<unsigned long long>(tc.wire_bytes));
+      ok = false;
+    }
+  }
+
+  json += "  ],\n  \"checks_passed\": ";
+  json += ok ? "true" : "false";
+  json += "\n}\n";
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("%s%s written to %s\n", ok ? "" : "CHECKS FAILED; ",
+              "benchmark results", out_path.c_str());
+  return ok ? 0 : 1;
+}

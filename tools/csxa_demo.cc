@@ -4,13 +4,15 @@
 //     --SecureDocumentStore--> encrypted chunks on the untrusted terminal
 //     --SecureFetcher/SoeDecryptor--> verified plaintext, fetched lazily
 //     --DocumentNavigator--> SAX events
+//     --pipeline::SecurePipeline--> descend-vs-skip per the evaluator's
+//       token analysis (subtrees proven inert are never transferred)
 //     --access::RuleEvaluator--> authorized pruned event stream
 //     --SerializingHandler--> authorized view, delivered to the user
 //
 // With no arguments it runs the built-in sample (the paper's medical-folder
-// example) verbosely; --selftest checks the produced view against the
-// expected result and the tamper-detection path, exiting nonzero on any
-// mismatch (this is the ctest smoke test).
+// example) verbosely; --selftest checks the produced view (with skipping
+// both on and off) against the expected result and the tamper-detection
+// path, exiting nonzero on any mismatch (this is the ctest smoke test).
 
 #include <cerrno>
 #include <cstdint>
@@ -26,9 +28,8 @@
 #include "access/rule_evaluator.h"
 #include "common/status.h"
 #include "crypto/secure_store.h"
-#include "index/encoder.h"
-#include "index/secure_fetcher.h"
 #include "index/variants.h"
+#include "pipeline/secure_pipeline.h"
 #include "xml/sax_parser.h"
 #include "xml/serializer.h"
 #include "xml/stats.h"
@@ -98,6 +99,7 @@ crypto::TripleDes::Key DemoKey() {
 struct Options {
   bool selftest = false;
   bool verbose = true;
+  bool enable_skip = true;
   std::string doc_path;
   std::string rules_path;
   std::string subject = "doctor";
@@ -113,88 +115,27 @@ Result<std::string> ReadFile(const std::string& path) {
   return ss.str();
 }
 
-struct PipelineResult {
-  std::string authorized_view;
-  access::RuleEvaluator::Stats eval_stats;
-  std::vector<uint8_t> encoded_image;  ///< Encoded document (header+stream).
-  uint64_t wire_bytes = 0;
-  uint64_t bytes_fetched = 0;
-  uint64_t requests = 0;
-  crypto::SoeDecryptor::Counters soe;
-};
-
-Result<PipelineResult> RunPipeline(const std::string& xml,
-                                   const std::vector<access::AccessRule>& rules,
-                                   const Options& opt) {
-  PipelineResult out;
-
-  // Owner side: parse, encode, encrypt, hand over to the terminal.
-  CSXA_ASSIGN_OR_RETURN(auto dom, xml::SaxParser::ParseToDom(xml));
-  CSXA_ASSIGN_OR_RETURN(index::EncodedDocument doc,
-                        index::Encode(*dom, opt.variant));
-  const auto key = DemoKey();
-  CSXA_ASSIGN_OR_RETURN(
-      crypto::SecureDocumentStore store,
-      crypto::SecureDocumentStore::Build(doc.bytes, key, opt.layout));
-
-  // SOE side: verified lazy fetch, streaming decode, rule evaluation.
-  crypto::SoeDecryptor soe(key, store.layout(), store.plaintext_size(),
-                           store.chunk_count());
-  index::SecureFetcher fetcher(&store, &soe);
-  CSXA_ASSIGN_OR_RETURN(
-      auto nav,
-      index::DocumentNavigator::OpenBuffer(fetcher.data(), fetcher.size(),
-                                           &fetcher));
-
-  xml::SerializingHandler serializer;
-  access::RuleEvaluator evaluator(rules, &serializer);
-  while (true) {
-    CSXA_ASSIGN_OR_RETURN(auto item, nav->Next());
-    using K = index::DocumentNavigator::ItemKind;
-    if (item.kind == K::kEnd) break;
-    switch (item.kind) {
-      case K::kOpen:
-        evaluator.OnOpen(item.tag, item.depth);
-        break;
-      case K::kValue:
-        evaluator.OnValue(item.value, item.depth);
-        break;
-      case K::kClose:
-        evaluator.OnClose(item.tag, item.depth);
-        break;
-      case K::kEnd:
-        break;
-    }
-  }
-  CSXA_RETURN_NOT_OK(evaluator.Finish());
-
-  out.authorized_view = serializer.output();
-  out.encoded_image = std::move(doc.bytes);
-  out.eval_stats = evaluator.stats();
-  out.wire_bytes = fetcher.wire_bytes();
-  out.bytes_fetched = fetcher.bytes_fetched();
-  out.requests = fetcher.requests();
-  out.soe = soe.counters();
-  return out;
+pipeline::SessionConfig DemoConfig(const Options& opt) {
+  pipeline::SessionConfig cfg;
+  cfg.variant = opt.variant;
+  cfg.layout = opt.layout;
+  cfg.key = DemoKey();
+  cfg.enable_skip = opt.enable_skip;
+  return cfg;
 }
 
-/// Re-runs the fetch path against a tampered store holding the
-/// already-encoded document; returns true when the integrity check caught
-/// the modification.
-bool TamperIsDetected(const std::vector<uint8_t>& encoded_image,
+/// Re-runs the fetch path against a tampered store; returns true when the
+/// integrity check caught the modification.
+bool TamperIsDetected(const std::string& xml,
+                      const std::vector<access::AccessRule>& rules,
                       const Options& opt) {
-  const auto key = DemoKey();
-  auto store =
-      crypto::SecureDocumentStore::Build(encoded_image, key, opt.layout);
-  if (!store.ok()) return false;
-  store.value().TamperByte(encoded_image.size() / 2, 0x40);
-
-  crypto::SoeDecryptor soe(key, store.value().layout(),
-                           store.value().plaintext_size(),
-                           store.value().chunk_count());
-  index::SecureFetcher fetcher(&store.value(), &soe);
-  Status st = fetcher.Ensure(0, fetcher.size());
-  return st.code() == StatusCode::kIntegrityError;
+  auto session = pipeline::SecureSession::Build(xml, DemoConfig(opt));
+  if (!session.ok()) return false;
+  session.value().mutable_store()->TamperByte(
+      session.value().encoded_bytes() / 2, 0x40);
+  auto report = session.value().Serve(rules, /*enable_skip=*/false);
+  return !report.ok() &&
+         report.status().code() == StatusCode::kIntegrityError;
 }
 
 int Run(const Options& opt) {
@@ -255,19 +196,25 @@ int Run(const Options& opt) {
     }
   }
 
-  auto result = RunPipeline(xml, subject_rules, opt);
+  auto session = pipeline::SecureSession::Build(xml, DemoConfig(opt));
+  if (!session.ok()) {
+    std::fprintf(stderr, "session: %s\n",
+                 session.status().ToString().c_str());
+    return 2;
+  }
+  auto result = session.value().Serve(subject_rules);
   if (!result.ok()) {
     std::fprintf(stderr, "pipeline: %s\n",
                  result.status().ToString().c_str());
     return 2;
   }
-  const PipelineResult& pr = result.value();
+  const pipeline::ServeReport& pr = result.value();
 
   if (opt.verbose) {
-    std::printf("\nauthorized view:\n%s\n", pr.authorized_view.c_str());
+    std::printf("\nauthorized view:\n%s\n", pr.view.c_str());
     std::printf("\ncost model:\n");
     std::printf("  encoded document     %8llu bytes\n",
-                static_cast<unsigned long long>(pr.encoded_image.size()));
+                static_cast<unsigned long long>(pr.encoded_bytes));
     std::printf("  terminal->SOE wire   %8llu bytes in %llu request(s)\n",
                 static_cast<unsigned long long>(pr.wire_bytes),
                 static_cast<unsigned long long>(pr.requests));
@@ -275,25 +222,43 @@ int Run(const Options& opt) {
                 static_cast<unsigned long long>(pr.soe.bytes_decrypted));
     std::printf("  hashed in SOE        %8llu bytes\n",
                 static_cast<unsigned long long>(pr.soe.bytes_hashed));
+    std::printf("  subtrees skipped     %8llu (%llu encoded bytes never "
+                "fetched; %llu oracle queries)\n",
+                static_cast<unsigned long long>(pr.drive.skips),
+                static_cast<unsigned long long>(pr.drive.skipped_bits / 8),
+                static_cast<unsigned long long>(pr.eval.skip_checks));
     std::printf("  events in/out/pruned %llu/%llu/%llu, rule hits %llu, "
                 "pending predicates %llu, peak buffered %zu\n",
-                static_cast<unsigned long long>(pr.eval_stats.events_in),
-                static_cast<unsigned long long>(pr.eval_stats.events_emitted),
-                static_cast<unsigned long long>(pr.eval_stats.events_pruned),
-                static_cast<unsigned long long>(pr.eval_stats.rule_hits),
-                static_cast<unsigned long long>(
-                    pr.eval_stats.predicates_spawned),
-                pr.eval_stats.peak_buffered);
+                static_cast<unsigned long long>(pr.eval.events_in),
+                static_cast<unsigned long long>(pr.eval.events_emitted),
+                static_cast<unsigned long long>(pr.eval.events_pruned),
+                static_cast<unsigned long long>(pr.eval.rule_hits),
+                static_cast<unsigned long long>(pr.eval.predicates_spawned),
+                pr.eval.peak_buffered);
   }
 
   if (opt.selftest) {
     int rc = 0;
+    // The skip-enabled view must be byte-identical to full streaming,
+    // whatever the document and rules.
+    auto full = session.value().Serve(subject_rules, /*enable_skip=*/false);
+    if (!full.ok()) {
+      std::fprintf(stderr, "selftest: full-streaming run failed: %s\n",
+                   full.status().ToString().c_str());
+      rc = 1;
+    } else if (full.value().view != pr.view) {
+      std::fprintf(stderr,
+                   "selftest: skip-enabled view diverges from full "
+                   "streaming\n  skip: %s\n  full: %s\n",
+                   pr.view.c_str(), full.value().view.c_str());
+      rc = 1;
+    }
     if (opt.doc_path.empty() && opt.rules_path.empty()) {
-      if (pr.authorized_view != kExpectedView) {
+      if (pr.view != kExpectedView) {
         std::fprintf(stderr,
                      "selftest: authorized view mismatch\n  got:      %s\n"
                      "  expected: %s\n",
-                     pr.authorized_view.c_str(), kExpectedView);
+                     pr.view.c_str(), kExpectedView);
         rc = 1;
       }
       if (before - subject_rules.size() != 1) {
@@ -302,7 +267,7 @@ int Run(const Options& opt) {
         rc = 1;
       }
     }
-    if (!TamperIsDetected(pr.encoded_image, opt)) {
+    if (!TamperIsDetected(xml, subject_rules, opt)) {
       std::fprintf(stderr, "selftest: tampering was not detected\n");
       rc = 1;
     }
@@ -334,6 +299,8 @@ int main(int argc, char** argv) {
     if (arg == "--selftest") {
       opt.selftest = true;
       opt.verbose = false;
+    } else if (arg == "--no-skip") {
+      opt.enable_skip = false;
     } else if (arg == "--doc") {
       if (const char* v = next()) opt.doc_path = v;
     } else if (arg == "--rules") {
@@ -366,7 +333,7 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: csxa_demo [--selftest] [--doc FILE] [--rules FILE]\n"
           "                 [--subject NAME] [--variant tc|tcs|tcsb|tcsbr]\n"
-          "                 [--chunk BYTES] [--fragment BYTES]\n");
+          "                 [--chunk BYTES] [--fragment BYTES] [--no-skip]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument %s (try --help)\n", arg.c_str());
