@@ -127,6 +127,11 @@ struct RuleEvaluator::NodeRec {
 
   enum class OpenState { kUndecided, kEmit, kDrop };
   OpenState open_state = OpenState::kUndecided;
+
+  /// ≥ 0 when the element's subtree was skipped unseen under the deferral
+  /// strategy: the id the driver re-reads the subtree by if the open is
+  /// eventually emitted.
+  int deferral_id = -1;
 };
 
 struct RuleEvaluator::OutEvent {
@@ -137,6 +142,11 @@ struct RuleEvaluator::OutEvent {
   /// Open/close: the element itself. Value: the parent element.
   std::shared_ptr<NodeRec> node;
 
+  /// Pending instances this event already registered a watcher with, so
+  /// re-examinations (and several hits blocked on one instance) never
+  /// subscribe the same (event, instance) pair twice.
+  internal::CondSet subscribed;
+
   /// First node whose subtree strictly contains this event: the parent
   /// element for open/close events, the carrying element for values.
   NodeRec* EnclosingNode() const {
@@ -146,8 +156,8 @@ struct RuleEvaluator::OutEvent {
 };
 
 RuleEvaluator::RuleEvaluator(std::vector<AccessRule> rules,
-                             xml::EventHandler* out)
-    : rules_(std::move(rules)), out_(out) {
+                             xml::EventHandler* out, Options options)
+    : rules_(std::move(rules)), out_(out), options_(options) {
   matchers_.reserve(rules_.size());
   for (const AccessRule& r : rules_) {
     matchers_.push_back(std::make_unique<internal::PathMatcher>(&r.path.steps,
@@ -250,31 +260,62 @@ SkipDecision RuleEvaluator::SubtreeDecision(const SubtreeFacts& facts,
   if (element_stack_.empty() || element_stack_.back()->depth != depth) {
     return SkipDecision::kDescend;  // Misaligned caller: never unsafe.
   }
-  // 1. Only an irrevocably denied element can be skipped: kPermit must
-  //    stream its content, kPending may still become permitted.
-  if (Decide(*element_stack_.back()) != Decision::kDeny) {
-    return SkipDecision::kDescend;
-  }
+  // 1. A permitted element must stream its content; denied and pending
+  //    elements are skip/defer candidates, gated below.
+  const Decision decision = Decide(*element_stack_.back());
+  if (decision == Decision::kPermit) return SkipDecision::kDescend;
   // 2. A pending predicate gathering evidence in this subtree governs
-  //    buffered events elsewhere (e.g. already-seen siblings). A live
-  //    value collection always forces a descent — text nodes are invisible
-  //    to the descendant-tag bitmap.
+  //    buffered events elsewhere (e.g. already-seen siblings) — and, for a
+  //    pending element, possibly the element itself. A live value
+  //    collection always forces a descent — text nodes are invisible to
+  //    the descendant-tag bitmap.
   for (const auto& inst : instances_) {
     if (inst->state != PredInstance::State::kPending) continue;
     if (!inst->collections.empty()) return SkipDecision::kDescend;
     if (inst->matcher.CanCompleteWithin(facts)) return SkipDecision::kDescend;
   }
-  // 3. A deeper positive target inside the subtree would override the
-  //    denial (most-specific-takes-precedence). Negative rules cannot
-  //    change anything below an irrevocable deny: their hits and spawned
-  //    predicates would only govern nodes of this — entirely denied —
-  //    subtree.
+  if (decision == Decision::kDeny) {
+    // 3. A deeper positive target inside the subtree would override the
+    //    denial (most-specific-takes-precedence). Negative rules cannot
+    //    change anything below an irrevocable deny: their hits and spawned
+    //    predicates would only govern nodes of this — entirely denied —
+    //    subtree.
+    for (size_t r = 0; r < rules_.size(); ++r) {
+      if (rules_[r].sign != Sign::kPermit) continue;
+      if (matchers_[r]->CanCompleteWithin(facts)) {
+        return SkipDecision::kDescend;
+      }
+    }
+    ++stats_.skips_advised;
+    return SkipDecision::kSkip;
+  }
+  // decision == kPending: the element hinges on predicates whose evidence
+  // — by step 2 — lies entirely outside this subtree. The budget is a
+  // *global* bound, so the subtree is charged against what remains of it
+  // after the bytes already buffered (many small pending siblings must not
+  // accumulate past the budget). Within the remainder the classic strategy
+  // (stream and buffer until the predicates resolve) is cheaper; beyond
+  // it, deferral is offered if the subtree provably cannot host a rule
+  // match of *either* sign: a granted deferral is re-read and emitted
+  // verbatim, so no deeper target may re-decide any inside node.
+  const uint64_t remaining =
+      options_.pending_buffer_budget > buffered_bytes_
+          ? options_.pending_buffer_budget - buffered_bytes_
+          : 0;
+  if (facts.subtree_bytes <= remaining) {
+    return SkipDecision::kDescend;
+  }
   for (size_t r = 0; r < rules_.size(); ++r) {
-    if (rules_[r].sign != Sign::kPermit) continue;
     if (matchers_[r]->CanCompleteWithin(facts)) return SkipDecision::kDescend;
   }
-  ++stats_.skips_advised;
-  return SkipDecision::kSkip;
+  ++stats_.defers_advised;
+  return SkipDecision::kDefer;
+}
+
+size_t RuleEvaluator::RegisterDeferral() {
+  const size_t id = stats_.subtrees_deferred++;
+  element_stack_.back()->deferral_id = static_cast<int>(id);
+  return id;
 }
 
 void RuleEvaluator::MarkStatus(OutEvent& e, EventStatus status) {
@@ -339,13 +380,22 @@ bool RuleEvaluator::ResolveEvent(size_t qpos) {
   if (e.status != EventStatus::kUndecided) return false;
   // Events that stay undecided because of pending predicates subscribe to
   // exactly the blocking instances; they are re-examined when (and only
-  // when) one of those resolves.
+  // when) one of those resolves. `blockers` may name one instance several
+  // times (identical token spawns at the same step share an instance, so
+  // several hits can be blocked on it) and a re-examination may rediscover
+  // instances the event already watches — each (event, instance) pair
+  // registers exactly once.
   CondSet blockers;
   auto subscribe = [&]() {
     for (const auto& b : blockers) {
-      if (b->state == PredInstance::State::kPending) {
-        b->watchers.push_back(qpos);
+      if (b->state != PredInstance::State::kPending) continue;
+      if (std::find(e.subscribed.begin(), e.subscribed.end(), b) !=
+          e.subscribed.end()) {
+        continue;
       }
+      e.subscribed.push_back(b);
+      b->watchers.push_back(qpos);
+      ++stats_.watcher_subscriptions;
     }
   };
   switch (e.ev.kind) {
@@ -443,9 +493,13 @@ void RuleEvaluator::Resolve() {
 
 void RuleEvaluator::Flush() {
   stats_.peak_buffered = std::max(stats_.peak_buffered, queue_.size());
+  stats_.peak_buffered_bytes =
+      std::max(stats_.peak_buffered_bytes, buffered_bytes_);
   while (!queue_.empty() &&
          queue_.front().status != EventStatus::kUndecided) {
     OutEvent& e = queue_.front();
+    const bool deferred_open =
+        e.ev.kind == xml::EventKind::kOpen && e.node->deferral_id >= 0;
     if (e.status == EventStatus::kEmit) {
       ++stats_.events_emitted;
       switch (e.ev.kind) {
@@ -459,9 +513,21 @@ void RuleEvaluator::Flush() {
           out_->OnClose(e.ev.text, e.depth);
           break;
       }
+      if (deferred_open) {
+        // The deferred element is granted after all: its (never-streamed)
+        // subtree belongs right here, between the open just forwarded and
+        // the close that follows — the splice point of the driver's
+        // checkpoint re-read.
+        ++stats_.deferrals_granted;
+        if (deferral_listener_) {
+          deferral_listener_(static_cast<size_t>(e.node->deferral_id));
+        }
+      }
     } else {
       ++stats_.events_pruned;
+      if (deferred_open) ++stats_.deferrals_denied;
     }
+    buffered_bytes_ -= e.ev.text.size();
     queue_.pop_front();
     ++queue_base_;
   }
@@ -518,7 +584,8 @@ void RuleEvaluator::OnOpen(const std::string& tag, int depth) {
   }
   element_stack_.push_back(node);
   queue_.push_back({xml::Event::Open(tag), depth, EventStatus::kUndecided,
-                    std::move(node)});
+                    std::move(node), {}});
+  buffered_bytes_ += tag.size();
 
   Resolve();
   Flush();
@@ -541,7 +608,8 @@ void RuleEvaluator::OnValue(const std::string& value, int depth) {
     ++n->undecided_inside;
   }
   queue_.push_back({xml::Event::Value(value), depth, EventStatus::kUndecided,
-                    std::move(parent)});
+                    std::move(parent), {}});
+  buffered_bytes_ += value.size();
 
   Resolve();
   Flush();
@@ -600,7 +668,8 @@ void RuleEvaluator::OnClose(const std::string& tag, int depth) {
     ++n->undecided_inside;
   }
   queue_.push_back({xml::Event::Close(tag), depth, EventStatus::kUndecided,
-                    node});
+                    node, {}});
+  buffered_bytes_ += tag.size();
 
   Resolve();
   Flush();

@@ -37,6 +37,10 @@ struct SubtreeFacts {
   /// Whether an element named `tag` can appear strictly below. Only
   /// consulted when tags_known && !no_elements_below.
   std::function<bool(const std::string&)> may_contain;
+  /// Encoded size of the subtree (the index's size field), the quantity the
+  /// deferral budget is compared against. 0 when the stream has no size
+  /// fields (TC), which disables deferral for the element.
+  uint64_t subtree_bytes = 0;
 };
 
 /// Answer of the per-element skip oracle.
@@ -49,6 +53,14 @@ enum class SkipDecision {
   /// predicate can gather evidence there. Pruning it unseen cannot change
   /// the authorized view.
   kSkip,
+  /// The element's decision hinges on predicates whose evidence lies
+  /// entirely *outside* the subtree, no rule automaton of either sign can
+  /// match inside it, and its encoded size exceeds the buffering budget:
+  /// instead of streaming-and-buffering it, the driver should skip it now,
+  /// register a deferral (RegisterDeferral) and re-read the bytes later —
+  /// only if the decision resolves to permit. The paper's skip-now-
+  /// reread-later strategy for pending parts (Sections 4.1/5).
+  kDefer,
 };
 
 namespace internal {
@@ -180,9 +192,27 @@ struct PredInstance {
 class RuleEvaluator : public xml::EventHandler,
                       private internal::RuleEvaluatorContext {
  public:
+  /// Pending-part strategy knobs (the SOE memory budget of the paper's
+  /// constraint #1: the document must never be materialized in the SOE).
+  struct Options {
+    /// Bytes the evaluator is willing to hold back for pending parts. A
+    /// pending subtree whose *encoded* size field exceeds what remains of
+    /// the budget (budget minus bytes already buffered, so small pending
+    /// siblings cannot accumulate past it) is answered kDefer by
+    /// SubtreeDecision() when deferring is provably safe. The encoded
+    /// size is a pre-read proxy for the decoded event payload — text
+    /// decodes 1:1, tag names may expand relative to their dictionary
+    /// codes — so the enforced peak is budget + one subtree's expansion
+    /// slack. The default never defers, preserving pure streaming.
+    uint64_t pending_buffer_budget = UINT64_MAX;
+  };
+
   /// `rules` is the rule set already selected for the requesting subject
   /// (see RulesForSubject); `out` receives the authorized view.
-  RuleEvaluator(std::vector<AccessRule> rules, xml::EventHandler* out);
+  RuleEvaluator(std::vector<AccessRule> rules, xml::EventHandler* out,
+                Options options);
+  RuleEvaluator(std::vector<AccessRule> rules, xml::EventHandler* out)
+      : RuleEvaluator(std::move(rules), out, Options()) {}
   ~RuleEvaluator() override;
 
   void OnOpen(const std::string& tag, int depth) override;
@@ -204,6 +234,25 @@ class RuleEvaluator : public xml::EventHandler,
   ///     negative-rule tokens are irrelevant below an irrevocable deny.
   SkipDecision SubtreeDecision(const SubtreeFacts& facts, int depth);
 
+  /// Records that the driver took a kDefer answer: the just-opened element
+  /// (the one SubtreeDecision was consulted for) becomes a *deferred
+  /// subtree* — its open/close events stay queued as usual, but its content
+  /// was skipped unseen. Returns the deferral id. When the element's
+  /// decision later resolves to permit, the deferral listener fires —
+  /// during output, right after the element's open event — so the driver
+  /// can splice the re-read subtree back at its original document
+  /// position; a denial fires nothing and costs zero re-reads. Must be
+  /// called right after SubtreeDecision() returned kDefer, before the next
+  /// event.
+  size_t RegisterDeferral();
+
+  /// Called in document order, between a granted deferred element's open
+  /// and close events as they are forwarded to `out`.
+  using DeferralListener = std::function<void(size_t deferral_id)>;
+  void set_deferral_listener(DeferralListener listener) {
+    deferral_listener_ = std::move(listener);
+  }
+
   /// Must be called after the last event: verifies every buffered event
   /// was resolved and flushed (it is, for any well-nested stream).
   Status Finish();
@@ -215,8 +264,17 @@ class RuleEvaluator : public xml::EventHandler,
     uint64_t rule_hits = 0;           ///< Full rule matches (targets found).
     uint64_t predicates_spawned = 0;  ///< Pending predicate instances.
     size_t peak_buffered = 0;         ///< Max events held back at once.
+    uint64_t peak_buffered_bytes = 0;  ///< Max payload bytes held back.
     uint64_t skip_checks = 0;         ///< SubtreeDecision() queries.
     uint64_t skips_advised = 0;       ///< ... that answered kSkip.
+    uint64_t defers_advised = 0;      ///< ... that answered kDefer.
+    uint64_t subtrees_deferred = 0;   ///< RegisterDeferral() calls.
+    uint64_t deferrals_granted = 0;   ///< Deferred opens that were emitted.
+    uint64_t deferrals_denied = 0;    ///< Deferred opens that were dropped.
+    /// Blocked-event → pending-predicate watcher registrations. Identical
+    /// token spawns at the same (rule, position) share one instance and
+    /// each blocked event registers with an instance at most once.
+    uint64_t watcher_subscriptions = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -248,6 +306,8 @@ class RuleEvaluator : public xml::EventHandler,
 
   std::vector<AccessRule> rules_;
   xml::EventHandler* out_;
+  Options options_;
+  DeferralListener deferral_listener_;
 
   std::vector<std::unique_ptr<internal::PathMatcher>> matchers_;  // per rule
   std::vector<std::shared_ptr<internal::PredInstance>> instances_;
@@ -260,6 +320,7 @@ class RuleEvaluator : public xml::EventHandler,
   std::vector<std::shared_ptr<NodeRec>> element_stack_;
   std::deque<OutEvent> queue_;
   size_t queue_base_ = 0;  ///< Absolute position of queue_.front().
+  uint64_t buffered_bytes_ = 0;  ///< Payload bytes currently in queue_.
   /// Instances that left kPending since the last DrainWave(): their
   /// watcher lists are the only buffered events a resolution wave touches.
   std::vector<std::shared_ptr<internal::PredInstance>> wave_;

@@ -310,18 +310,25 @@ DocumentNavigator::Checkpoint DocumentNavigator::Save() const {
   cp.depth = depth_;
   cp.started = started_;
   cp.frames = frames_;
+  cp.tc_stack = tc_stack_;
   return cp;
 }
 
-Status DocumentNavigator::Restore(const Checkpoint& checkpoint) {
+Status DocumentNavigator::SeekTo(const Checkpoint& checkpoint) {
   if (checkpoint.bit_pos > size_bits_) {
     return Status::OutOfRange("checkpoint past end of stream");
+  }
+  for (const Checkpoint::Frame& f : checkpoint.frames) {
+    if (f.end_bit > size_bits_) {
+      return Status::OutOfRange("checkpoint frame past end of stream");
+    }
   }
   pos_ = checkpoint.bit_pos;
   depth_ = checkpoint.depth;
   started_ = checkpoint.started;
   frames_ = checkpoint.frames;
-  done_ = started_ && frames_.empty();
+  tc_stack_ = checkpoint.tc_stack;
+  done_ = started_ && frames_.empty() && tc_stack_.empty();
   return Status::OK();
 }
 

@@ -80,8 +80,14 @@ class DocumentNavigator {
   /// fetched or decoded.
   Status SkipSubtree();
 
-  /// Decode-state snapshot for pending-subtree re-reads (Section 5: parts
-  /// left aside are read back later without re-analyzing anything else).
+  /// Immutable decode-state snapshot for pending-subtree re-reads
+  /// (Section 5: parts left aside are read back later without re-analyzing
+  /// anything else). Holds everything relative decoding needs to re-enter
+  /// the stream at an element-open position: the bit offset, the open
+  /// element path (tag + subtree extent + size-field width per frame, with
+  /// the TCSBR relative-decoding tag context of each ancestor), and — for
+  /// TC streams, which have no frames — the open-tag stack. Size and
+  /// SeekTo() cost are O(depth), never O(document).
   struct Checkpoint {
     size_t bit_pos = 0;
     int depth = 0;
@@ -93,9 +99,15 @@ class DocumentNavigator {
       std::vector<xml::TagId> ctx;  // children decode context (TCSBR)
     };
     std::vector<Frame> frames;
+    std::vector<xml::TagId> tc_stack;  // TC-only open-element tags
   };
   Checkpoint Save() const;
-  Status Restore(const Checkpoint& checkpoint);
+
+  /// Re-enters the stream at `checkpoint`, which must have been produced by
+  /// Save() on a navigator over the same encoded document. The next Next()
+  /// decodes exactly what it would have decoded there; nothing between the
+  /// current position and the target is fetched or replayed.
+  Status SeekTo(const Checkpoint& checkpoint);
 
   /// Total bits consumed by reads (skips excluded).
   uint64_t bits_read() const { return bits_read_; }

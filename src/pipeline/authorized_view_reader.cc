@@ -1,0 +1,182 @@
+#include "pipeline/authorized_view_reader.h"
+
+#include <utility>
+
+namespace csxa::pipeline {
+
+/// EventHandler bridging the evaluator's push output into the reader's
+/// pull queue. Splice markers are enqueued by the deferral listener, which
+/// the evaluator fires between a granted deferred element's open and close
+/// — exactly the document position the subtree belongs at.
+class AuthorizedViewReader::Collector : public xml::EventHandler {
+ public:
+  explicit Collector(std::deque<OutEntry>* out) : out_(out) {}
+
+  void OnOpen(const std::string& tag, int depth) override {
+    out_->push_back({xml::Event::Open(tag), depth, -1});
+  }
+  void OnValue(const std::string& value, int depth) override {
+    out_->push_back({xml::Event::Value(value), depth, -1});
+  }
+  void OnClose(const std::string& tag, int depth) override {
+    out_->push_back({xml::Event::Close(tag), depth, -1});
+  }
+  void OnDeferralGranted(size_t id) {
+    out_->push_back({xml::Event(), 0, static_cast<int>(id)});
+  }
+
+ private:
+  std::deque<OutEntry>* out_;
+};
+
+AuthorizedViewReader::AuthorizedViewReader(
+    index::DocumentNavigator* nav, std::vector<access::AccessRule> rules,
+    access::RuleEvaluator::Options eval_options, DriveOptions options)
+    : nav_(nav),
+      options_(options),
+      skip_possible_(options.enable_skip && nav->CanSkip()),
+      collector_(std::make_unique<Collector>(&out_)),
+      eval_(std::make_unique<access::RuleEvaluator>(
+          std::move(rules), collector_.get(), eval_options)),
+      present_(nav->dictionary().size(), 0) {
+  eval_->set_deferral_listener(
+      [this](size_t id) { collector_->OnDeferralGranted(id); });
+  facts_.may_contain = [this](const std::string& tag) {
+    xml::TagId id;
+    return nav_->dictionary().Lookup(tag, &id) &&
+           present_[id] == generation_;
+  };
+}
+
+AuthorizedViewReader::~AuthorizedViewReader() = default;
+
+Status AuthorizedViewReader::DriveOne() {
+  CSXA_ASSIGN_OR_RETURN(auto item, nav_->Next());
+  using K = index::DocumentNavigator::ItemKind;
+  switch (item.kind) {
+    case K::kEnd:
+      CSXA_RETURN_NOT_OK(eval_->Finish());
+      finished_ = true;
+      break;
+    case K::kOpen: {
+      ++stats_.opens;
+      eval_->OnOpen(item.tag, item.depth);
+      if (!skip_possible_) break;
+      facts_.tags_known = item.has_desc;
+      facts_.no_elements_below = item.has_desc && item.desc.empty();
+      facts_.subtree_bytes = item.subtree_bits / 8;
+      if (item.has_desc) {
+        ++generation_;
+        for (xml::TagId t : item.desc) present_[t] = generation_;
+      }
+      switch (eval_->SubtreeDecision(facts_, item.depth)) {
+        case access::SkipDecision::kDescend:
+          break;
+        case access::SkipDecision::kSkip:
+          // The whole children region is provably inert: jump it via the
+          // size field. Its fragments are never requested from the
+          // terminal; the next Next() yields this element's close event.
+          CSXA_RETURN_NOT_OK(nav_->SkipSubtree());
+          ++stats_.skips;
+          stats_.skipped_bits += item.subtree_bits;
+          break;
+        case access::SkipDecision::kDefer: {
+          // Pending and too large to buffer: remember where the children
+          // region starts (the navigator sits exactly there, with the
+          // element's frame on top) and jump it. The bytes are fetched
+          // later — only if the decision resolves to permit.
+          const size_t id = eval_->RegisterDeferral();
+          if (deferrals_.size() <= id) deferrals_.resize(id + 1);
+          deferrals_[id] = {nav_->Save(), item.depth, item.subtree_bits};
+          CSXA_RETURN_NOT_OK(nav_->SkipSubtree());
+          ++stats_.deferrals;
+          stats_.deferred_bits += item.subtree_bits;
+          break;
+        }
+      }
+      break;
+    }
+    case K::kValue:
+      ++stats_.values;
+      eval_->OnValue(item.value, item.depth);
+      break;
+    case K::kClose:
+      ++stats_.closes;
+      eval_->OnClose(item.tag, item.depth);
+      break;
+  }
+  return Status::OK();
+}
+
+Status AuthorizedViewReader::BeginSplice(size_t id) {
+  if (id >= deferrals_.size()) {
+    return Status::Internal("deferral id out of range");
+  }
+  resume_ = nav_->Save();
+  CSXA_RETURN_NOT_OK(nav_->SeekTo(deferrals_[id].checkpoint));
+  splicing_ = true;
+  splice_depth_ = deferrals_[id].depth;
+  splice_bits_base_ = nav_->bits_read();
+  ++stats_.rereads;
+  return Status::OK();
+}
+
+Result<ViewItem> AuthorizedViewReader::SpliceNext() {
+  // A granted deferral is emitted verbatim: the deferral conditions proved
+  // no rule automaton of either sign could match inside, so every node in
+  // the subtree inherits exactly the element's (now permitted) decision.
+  CSXA_ASSIGN_OR_RETURN(auto item, nav_->Next());
+  using K = index::DocumentNavigator::ItemKind;
+  if (item.kind == K::kEnd ||
+      (item.kind == K::kClose && item.depth == splice_depth_)) {
+    // The deferred element's own close is not re-emitted here — the
+    // evaluator's queued close event follows in the output queue.
+    stats_.reread_bits += nav_->bits_read() - splice_bits_base_;
+    splicing_ = false;
+    CSXA_RETURN_NOT_OK(nav_->SeekTo(resume_));
+    return ViewItem{};  // Placeholder; caller loops.
+  }
+  ViewItem v;
+  v.depth = item.depth;
+  switch (item.kind) {
+    case K::kOpen:
+      v.event = xml::Event::Open(item.tag);
+      break;
+    case K::kValue:
+      v.event = xml::Event::Value(item.value);
+      break;
+    case K::kClose:
+      v.event = xml::Event::Close(item.tag);
+      break;
+    case K::kEnd:
+      break;  // Unreachable: handled above.
+  }
+  return v;
+}
+
+Result<ViewItem> AuthorizedViewReader::Next() {
+  while (true) {
+    if (splicing_) {
+      CSXA_ASSIGN_OR_RETURN(ViewItem v, SpliceNext());
+      if (splicing_) return v;  // Still inside the re-read subtree.
+      continue;                 // Splice ended: resume the normal queue.
+    }
+    if (!out_.empty()) {
+      OutEntry e = std::move(out_.front());
+      out_.pop_front();
+      if (e.splice >= 0) {
+        CSXA_RETURN_NOT_OK(BeginSplice(static_cast<size_t>(e.splice)));
+        continue;
+      }
+      return ViewItem{false, std::move(e.event), e.depth};
+    }
+    if (finished_) {
+      ViewItem v;
+      v.end = true;
+      return v;
+    }
+    CSXA_RETURN_NOT_OK(DriveOne());
+  }
+}
+
+}  // namespace csxa::pipeline

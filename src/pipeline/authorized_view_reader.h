@@ -1,0 +1,145 @@
+#ifndef CSXA_PIPELINE_AUTHORIZED_VIEW_READER_H_
+#define CSXA_PIPELINE_AUTHORIZED_VIEW_READER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "access/access_rule.h"
+#include "access/rule_evaluator.h"
+#include "common/status.h"
+#include "index/decoder.h"
+#include "xml/event.h"
+
+namespace csxa::pipeline {
+
+/// Knobs of the navigate→evaluate→deliver driver.
+struct DriveOptions {
+  /// Consult the evaluator's skip oracle at each open event and jump
+  /// inert/deferred subtrees via the index's size fields. Off = faithful
+  /// full streaming (the reference the skip path must be byte-identical
+  /// to); deferral needs skipping and is off with it.
+  bool enable_skip = true;
+};
+
+/// What the driver did with the event stream.
+struct DriveStats {
+  uint64_t opens = 0;
+  uint64_t values = 0;
+  uint64_t closes = 0;
+  uint64_t skips = 0;          ///< Subtrees pruned before being fetched.
+  uint64_t skipped_bits = 0;   ///< Encoded bits those subtrees span.
+  uint64_t deferrals = 0;      ///< Pending subtrees skipped-for-later.
+  uint64_t deferred_bits = 0;  ///< Encoded bits those subtrees span.
+  uint64_t rereads = 0;        ///< Granted deferrals spliced back in.
+  uint64_t reread_bits = 0;    ///< Encoded bits re-read during splices.
+};
+
+/// One authorized-view event, pulled from an AuthorizedViewReader.
+struct ViewItem {
+  bool end = false;  ///< True once the view is exhausted; `event` invalid.
+  xml::Event event;
+  int depth = 0;
+};
+
+/// The SOE-side driver of the paper's architecture, redesigned as a *pull*
+/// API: each Next() returns the next event of the authorized view, in
+/// document order, and internally advances the navigate→evaluate loop just
+/// far enough to produce it.
+///
+/// The driver consults the evaluator's token analysis
+/// (RuleEvaluator::SubtreeDecision) at each element open:
+///
+///  - kSkip: the subtree is provably inert — SkipSubtree() jumps it before
+///    any of its fragments are fetched (Section 4.1's reason for the Skip
+///    index to exist).
+///  - kDefer: the subtree's fate hinges on predicates resolving elsewhere
+///    and it is too large to buffer — the driver saves a navigator
+///    Checkpoint, skips the bytes, and if (and only if) the evaluator
+///    later emits the element as granted, seeks back and re-reads exactly
+///    the granted bytes, splicing them into the output at their original
+///    document position (Section 5's pending-part re-reads). Denied
+///    deferrals cost zero re-read bytes.
+///
+/// The reader owns the evaluator; the document never materializes in SOE
+/// memory beyond the evaluator's (budgeted) pending buffer and one event.
+class AuthorizedViewReader {
+ public:
+  /// `nav` must outlive the reader. `rules` is the rule set already
+  /// selected for the requesting subject.
+  AuthorizedViewReader(index::DocumentNavigator* nav,
+                       std::vector<access::AccessRule> rules,
+                       access::RuleEvaluator::Options eval_options,
+                       DriveOptions options);
+  AuthorizedViewReader(index::DocumentNavigator* nav,
+                       std::vector<access::AccessRule> rules)
+      : AuthorizedViewReader(nav, std::move(rules),
+                             access::RuleEvaluator::Options(),
+                             DriveOptions()) {}
+  ~AuthorizedViewReader();
+
+  /// Pulls the next authorized-view event; `.end` is true after the last
+  /// one. Errors (integrity, corruption) surface as failed Results.
+  Result<ViewItem> Next();
+
+  const DriveStats& stats() const { return stats_; }
+  const access::RuleEvaluator::Stats& eval_stats() const {
+    return eval_->stats();
+  }
+
+ private:
+  /// Decided output of the evaluator, queued until pulled. `splice` ≥ 0
+  /// marks the position where deferred subtree #splice must be re-read and
+  /// merged back (right between the element's open and close events).
+  struct OutEntry {
+    xml::Event event;
+    int depth = 0;
+    int splice = -1;
+  };
+
+  /// Everything needed to re-enter a deferred subtree later.
+  struct Deferral {
+    index::DocumentNavigator::Checkpoint checkpoint;
+    int depth = 0;
+    uint64_t subtree_bits = 0;
+  };
+
+  class Collector;
+
+  Status DriveOne();               ///< Feed one navigator item to the evaluator.
+  Status BeginSplice(size_t id);   ///< Seek into deferred subtree #id.
+  Result<ViewItem> SpliceNext();   ///< Pull one re-read event.
+
+  index::DocumentNavigator* nav_;
+  DriveOptions options_;
+  bool skip_possible_ = false;
+  std::unique_ptr<Collector> collector_;
+  std::unique_ptr<access::RuleEvaluator> eval_;
+
+  std::deque<OutEntry> out_;
+  std::vector<Deferral> deferrals_;
+  bool finished_ = false;
+
+  /// Splice state: while active, Next() streams raw events from the
+  /// navigator (re-positioned at the deferral's checkpoint) until the
+  /// deferred element closes, then seeks back to `resume_`.
+  bool splicing_ = false;
+  int splice_depth_ = 0;
+  uint64_t splice_bits_base_ = 0;
+  index::DocumentNavigator::Checkpoint resume_;
+
+  /// Reusable skip-oracle input: generation-stamped presence table of the
+  /// current element's descendant-tag bitmap over the dictionary, queried
+  /// through a facts object built once (no per-event allocation).
+  std::vector<uint32_t> present_;
+  uint32_t generation_ = 0;
+  access::SubtreeFacts facts_;
+
+  DriveStats stats_;
+};
+
+}  // namespace csxa::pipeline
+
+#endif  // CSXA_PIPELINE_AUTHORIZED_VIEW_READER_H_

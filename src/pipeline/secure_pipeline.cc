@@ -3,70 +3,10 @@
 #include <utility>
 
 #include "index/encoder.h"
-#include "index/secure_fetcher.h"
 #include "xml/sax_parser.h"
 #include "xml/serializer.h"
 
 namespace csxa::pipeline {
-
-SecurePipeline::SecurePipeline(index::DocumentNavigator* nav,
-                               access::RuleEvaluator* eval,
-                               DriveOptions options)
-    : nav_(nav), eval_(eval), options_(options) {}
-
-Status SecurePipeline::Run() {
-  const xml::TagDictionary& dict = nav_->dictionary();
-  // Reusable oracle input: the descendant-tag bitmap of the element at
-  // hand, as a generation-stamped presence table over the dictionary (no
-  // per-event allocation or clearing).
-  std::vector<uint32_t> present(dict.size(), 0);
-  uint32_t generation = 0;
-  access::SubtreeFacts facts;
-  facts.may_contain = [&dict, &present,
-                       &generation](const std::string& tag) {
-    xml::TagId id;
-    return dict.Lookup(tag, &id) && present[id] == generation;
-  };
-  const bool skip_possible = options_.enable_skip && nav_->CanSkip();
-
-  while (true) {
-    CSXA_ASSIGN_OR_RETURN(auto item, nav_->Next());
-    using K = index::DocumentNavigator::ItemKind;
-    switch (item.kind) {
-      case K::kEnd:
-        return eval_->Finish();
-      case K::kOpen: {
-        ++stats_.opens;
-        eval_->OnOpen(item.tag, item.depth);
-        if (!skip_possible) break;
-        facts.tags_known = item.has_desc;
-        facts.no_elements_below = item.has_desc && item.desc.empty();
-        if (item.has_desc) {
-          ++generation;
-          for (xml::TagId t : item.desc) present[t] = generation;
-        }
-        if (eval_->SubtreeDecision(facts, item.depth) ==
-            access::SkipDecision::kSkip) {
-          // The whole children region is provably inert: jump it via the
-          // size field. Its fragments are never requested from the
-          // terminal; the next Next() yields this element's close event.
-          CSXA_RETURN_NOT_OK(nav_->SkipSubtree());
-          ++stats_.skips;
-          stats_.skipped_bits += item.subtree_bits;
-        }
-        break;
-      }
-      case K::kValue:
-        ++stats_.values;
-        eval_->OnValue(item.value, item.depth);
-        break;
-      case K::kClose:
-        ++stats_.closes;
-        eval_->OnClose(item.tag, item.depth);
-        break;
-    }
-  }
-}
 
 Result<SecureSession> SecureSession::Build(const std::string& xml,
                                            const SessionConfig& cfg) {
@@ -79,29 +19,44 @@ Result<SecureSession> SecureSession::Build(const std::string& xml,
   return SecureSession(cfg, std::move(store), doc.bytes.size());
 }
 
-Result<ServeReport> SecureSession::Serve(
-    const std::vector<access::AccessRule>& rules, bool enable_skip) const {
-  crypto::SoeDecryptor soe(cfg_.key, store_.layout(), store_.plaintext_size(),
-                           store_.chunk_count(), cfg_.version);
-  index::SecureFetcher fetcher(&store_, &soe);
+Result<std::unique_ptr<ServeStream>> SecureSession::OpenStream(
+    const std::vector<access::AccessRule>& rules,
+    const ServeOptions& options) const {
+  auto stream = std::unique_ptr<ServeStream>(
+      new ServeStream(&store_, cfg_.key, cfg_.version));
   CSXA_ASSIGN_OR_RETURN(
-      auto nav,
-      index::DocumentNavigator::OpenBuffer(fetcher.data(), fetcher.size(),
-                                           &fetcher));
+      stream->nav_,
+      index::DocumentNavigator::OpenBuffer(stream->fetcher_.data(),
+                                           stream->fetcher_.size(),
+                                           &stream->fetcher_));
+  access::RuleEvaluator::Options eval_options;
+  eval_options.pending_buffer_budget = options.pending_buffer_budget;
+  stream->reader_ = std::make_unique<AuthorizedViewReader>(
+      stream->nav_.get(), rules, eval_options,
+      DriveOptions{options.enable_skip});
+  return stream;
+}
+
+Result<ServeReport> SecureSession::Serve(
+    const std::vector<access::AccessRule>& rules,
+    const ServeOptions& options) const {
+  CSXA_ASSIGN_OR_RETURN(auto stream, OpenStream(rules, options));
   xml::SerializingHandler serializer;
-  access::RuleEvaluator evaluator(rules, &serializer);
-  SecurePipeline pipeline(nav.get(), &evaluator, DriveOptions{enable_skip});
-  CSXA_RETURN_NOT_OK(pipeline.Run());
+  while (true) {
+    CSXA_ASSIGN_OR_RETURN(ViewItem item, stream->Next());
+    if (item.end) break;
+    serializer.Feed(item.event, item.depth);
+  }
 
   ServeReport report;
   report.view = serializer.output();
-  report.drive = pipeline.stats();
-  report.eval = evaluator.stats();
+  report.drive = stream->drive();
+  report.eval = stream->eval();
   report.encoded_bytes = encoded_bytes_;
-  report.wire_bytes = fetcher.wire_bytes();
-  report.bytes_fetched = fetcher.bytes_fetched();
-  report.requests = fetcher.requests();
-  report.soe = soe.counters();
+  report.wire_bytes = stream->fetcher().wire_bytes();
+  report.bytes_fetched = stream->fetcher().bytes_fetched();
+  report.requests = stream->fetcher().requests();
+  report.soe = stream->soe();
   return report;
 }
 

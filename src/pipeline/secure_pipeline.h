@@ -2,6 +2,7 @@
 #define CSXA_PIPELINE_SECURE_PIPELINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -10,71 +11,40 @@
 #include "common/status.h"
 #include "crypto/secure_store.h"
 #include "index/decoder.h"
+#include "index/secure_fetcher.h"
 #include "index/variants.h"
+#include "pipeline/authorized_view_reader.h"
 
 namespace csxa::pipeline {
 
-/// Knobs of the navigate→evaluate driver.
-struct DriveOptions {
-  /// Consult the evaluator's skip oracle at each open event and jump inert
-  /// subtrees via the index's size fields. Off = faithful full streaming
-  /// (the reference the skip path must be byte-identical to).
-  bool enable_skip = true;
-};
-
-/// What the driver did with the event stream.
-struct DriveStats {
-  uint64_t opens = 0;
-  uint64_t values = 0;
-  uint64_t closes = 0;
-  uint64_t skips = 0;          ///< Subtrees pruned before being fetched.
-  uint64_t skipped_bits = 0;   ///< Encoded bits those subtrees span.
-};
-
-/// The SOE-side driver of the paper's architecture: owns the
-/// navigate→evaluate loop and *inverts* it relative to naive streaming.
-/// Instead of pulling every event and letting the evaluator prune after
-/// the fact, the driver consults the evaluator's token analysis
-/// (RuleEvaluator::SubtreeDecision) at each element open — when the rule
-/// automata prove the subtree inert, it calls SkipSubtree() *before* any
-/// of the subtree's fragments are fetched, so forbidden or irrelevant
-/// bytes never cross the terminal→SOE boundary (Section 4.1's reason for
-/// the Skip index to exist).
-class SecurePipeline {
- public:
-  /// `nav` and `eval` must outlive the pipeline. The evaluator's output
-  /// handler receives the authorized view.
-  SecurePipeline(index::DocumentNavigator* nav, access::RuleEvaluator* eval,
-                 DriveOptions options = {});
-
-  /// Drives the whole document (or what remains of it) through the
-  /// evaluator, skipping as allowed, and finishes the evaluator.
-  Status Run();
-
-  const DriveStats& stats() const { return stats_; }
-
- private:
-  index::DocumentNavigator* nav_;
-  access::RuleEvaluator* eval_;
-  DriveOptions options_;
-  DriveStats stats_;
-};
-
 /// One encrypted document hosted by an untrusted terminal, with everything
-/// needed to serve authorized views to SOE-side sessions. Bundles the
-/// owner-side preparation (parse → encode → encrypt → digest) and the
-/// per-request SOE chain (fresh decryptor → lazy verified fetcher →
-/// navigator → evaluator → pipeline), so the demo, the benchmark and the
-/// tests measure exactly the same code path.
+/// needed to serve authorized views to SOE-side sessions — the single
+/// public facade of the pipeline. Bundles the owner-side preparation
+/// (parse → encode → encrypt → digest) and the per-request SOE chain
+/// (fresh decryptor → lazy verified fetcher → navigator → pull-based
+/// AuthorizedViewReader), so the demo, the benchmark and the tests
+/// measure exactly the same code path.
 struct SessionConfig {
   index::Variant variant = index::Variant::kTcsbr;
   crypto::ChunkLayout layout;
   crypto::TripleDes::Key key{};
   uint32_t version = 0;       ///< Document version bound into ChunkDigests.
-  bool enable_skip = true;    ///< DriveOptions::enable_skip for Serve().
+  bool enable_skip = true;    ///< Default ServeOptions::enable_skip.
+  /// Default ServeOptions::pending_buffer_budget (see below).
+  uint64_t pending_buffer_budget = UINT64_MAX;
 };
 
-/// Cost-model counters of one Serve() run (the quantities of the paper's
+/// Per-serve overrides, so skip/defer/full comparisons reuse one
+/// owner-side build (parse/encode/encrypt happen once).
+struct ServeOptions {
+  bool enable_skip = true;
+  /// Largest encoded subtree (bytes) the evaluator may buffer while its
+  /// decision is pending; larger pending subtrees are deferred
+  /// (skip-now-reread-later) when provably safe. UINT64_MAX never defers.
+  uint64_t pending_buffer_budget = UINT64_MAX;
+};
+
+/// Cost-model counters of one serve (the quantities of the paper's
 /// Section 5 / Figure 8 comparison).
 struct ServeReport {
   std::string view;                      ///< Serialized authorized view.
@@ -87,6 +57,41 @@ struct ServeReport {
   crypto::SoeDecryptor::Counters soe;    ///< Decrypt/hash work in the SOE.
 };
 
+/// The pull endpoint of one serve: owns the per-request SOE chain
+/// (decryptor, fetcher, navigator, reader) and yields the authorized view
+/// one event at a time, fetching/decrypting lazily as it goes. Obtain via
+/// SecureSession::OpenStream; the session must outlive the stream.
+class ServeStream {
+ public:
+  ServeStream(const ServeStream&) = delete;
+  ServeStream& operator=(const ServeStream&) = delete;
+
+  /// Next authorized-view event; `.end` true after the last one.
+  Result<ViewItem> Next() { return reader_->Next(); }
+
+  const DriveStats& drive() const { return reader_->stats(); }
+  const access::RuleEvaluator::Stats& eval() const {
+    return reader_->eval_stats();
+  }
+  const index::SecureFetcher& fetcher() const { return fetcher_; }
+  const crypto::SoeDecryptor::Counters& soe() const {
+    return soe_.counters();
+  }
+
+ private:
+  friend class SecureSession;
+  ServeStream(const crypto::SecureDocumentStore* store,
+              const crypto::TripleDes::Key& key, uint32_t version)
+      : soe_(key, store->layout(), store->plaintext_size(),
+             store->chunk_count(), version),
+        fetcher_(store, &soe_) {}
+
+  crypto::SoeDecryptor soe_;
+  index::SecureFetcher fetcher_;
+  std::unique_ptr<index::DocumentNavigator> nav_;
+  std::unique_ptr<AuthorizedViewReader> reader_;
+};
+
 class SecureSession {
  public:
   /// Owner side: parses `xml`, encodes it under cfg.variant and hands the
@@ -94,16 +99,26 @@ class SecureSession {
   static Result<SecureSession> Build(const std::string& xml,
                                      const SessionConfig& cfg);
 
-  /// SOE side: serves the authorized view for `rules` (already selected
-  /// for the requesting subject) with fresh cost counters. The overload
-  /// overrides the config's enable_skip, so skip-vs-full comparisons reuse
-  /// one owner-side build (parse/encode/encrypt happen once).
+  /// SOE side: opens a pull stream of the authorized view for `rules`
+  /// (already selected for the requesting subject) with fresh cost
+  /// counters.
+  Result<std::unique_ptr<ServeStream>> OpenStream(
+      const std::vector<access::AccessRule>& rules,
+      const ServeOptions& options) const;
+
+  /// Convenience: drains a stream into a serialized view + cost report.
+  Result<ServeReport> Serve(const std::vector<access::AccessRule>& rules,
+                            const ServeOptions& options) const;
   Result<ServeReport> Serve(
       const std::vector<access::AccessRule>& rules) const {
-    return Serve(rules, cfg_.enable_skip);
+    return Serve(rules, DefaultOptions());
   }
   Result<ServeReport> Serve(const std::vector<access::AccessRule>& rules,
-                            bool enable_skip) const;
+                            bool enable_skip) const {
+    ServeOptions options = DefaultOptions();
+    options.enable_skip = enable_skip;
+    return Serve(rules, options);
+  }
 
   const crypto::SecureDocumentStore& store() const { return store_; }
   /// Attack-emulation hooks (TamperByte etc.) for tests.
@@ -116,6 +131,10 @@ class SecureSession {
       : cfg_(std::move(cfg)),
         store_(std::move(store)),
         encoded_bytes_(encoded_bytes) {}
+
+  ServeOptions DefaultOptions() const {
+    return ServeOptions{cfg_.enable_skip, cfg_.pending_buffer_budget};
+  }
 
   SessionConfig cfg_;
   crypto::SecureDocumentStore store_;

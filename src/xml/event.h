@@ -15,7 +15,7 @@ enum class EventKind {
 /// One parsing event. `text` holds the tag name for open/close and the
 /// character data for value events.
 struct Event {
-  EventKind kind;
+  EventKind kind = EventKind::kOpen;
   std::string text;
 
   static Event Open(std::string tag) {

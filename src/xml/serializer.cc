@@ -79,4 +79,18 @@ void SerializingHandler::OnClose(const std::string& tag, int) {
   out_.push_back('>');
 }
 
+void SerializingHandler::Feed(const Event& event, int depth) {
+  switch (event.kind) {
+    case EventKind::kOpen:
+      OnOpen(event.text, depth);
+      break;
+    case EventKind::kValue:
+      OnValue(event.text, depth);
+      break;
+    case EventKind::kClose:
+      OnClose(event.text, depth);
+      break;
+  }
+}
+
 }  // namespace csxa::xml

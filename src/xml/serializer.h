@@ -23,6 +23,10 @@ class SerializingHandler : public EventHandler {
   void OnValue(const std::string& value, int depth) override;
   void OnClose(const std::string& tag, int depth) override;
 
+  /// Pull-API convenience: dispatches one already-materialized event, so
+  /// consumers draining an AuthorizedViewReader serialize with one call.
+  void Feed(const Event& event, int depth);
+
   const std::string& output() const { return out_; }
 
  private:

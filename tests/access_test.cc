@@ -191,6 +191,27 @@ TEST(EvaluatorStats) {
   CHECK_EQ(eval.stats().rule_hits, uint64_t{2});
 }
 
+TEST(WatcherRegistrationDeduped) {
+  // //a//b[c] over <r><a><a><b>…: two descendant tokens cross the same
+  // predicated step during b's open event. The spawn memo makes them share
+  // one predicate instance, so b carries two hits blocked on the *same*
+  // instance — each blocked event must register one watcher with it, not
+  // one per hit (and a re-examination must not re-register).
+  auto rules = access::ParseRuleList("+ /r\n- //a//b[c]\n");
+  CHECK_OK(rules.status());
+  xml::SerializingHandler ser;
+  access::RuleEvaluator eval(rules.take(), &ser);
+  CHECK_OK(xml::SaxParser::Parse("<r><a><a><b>secret</b></a></a></r>",
+                                 &eval));
+  CHECK_OK(eval.Finish());
+  // One shared instance, despite two tokens crossing the step.
+  CHECK_EQ(eval.stats().predicates_spawned, uint64_t{1});
+  // Exactly two blocked events (b's open, its text) × one instance.
+  CHECK_EQ(eval.stats().watcher_subscriptions, uint64_t{2});
+  // [c] never matched: the pending denial dissolves and b is disclosed.
+  CHECK_EQ(ser.output(), "<r><a><a><b>secret</b></a></a></r>");
+}
+
 TEST(RuleParsing) {
   auto r = access::ParseRule("+ doctor: /Folder//MedActs");
   CHECK_OK(r.status());

@@ -146,6 +146,55 @@ TEST(SkippedSubtreesAreNeverFetched) {
   CHECK(fetcher.wire_bytes() > 0);
 }
 
+TEST(PullStreamMatchesServeAndFetchesLazily) {
+  // The pull API (OpenStream/Next) is the same code path Serve drains: the
+  // concatenated events must serialize to the identical view, and the
+  // first event must be deliverable before the whole document has been
+  // fetched/decrypted (the reader advances the navigate→evaluate loop only
+  // as far as each Next() needs).
+  std::string xml = "<r>";
+  for (int i = 0; i < 100; ++i) {
+    xml += "<item>payload-" + std::to_string(i) + "</item>";
+  }
+  xml += "</r>";
+  auto parsed = access::ParseRuleList("+ /r\n");
+  CHECK_OK(parsed.status());
+  if (!parsed.ok()) return;
+  std::vector<access::AccessRule> rules = parsed.take();
+
+  pipeline::SessionConfig cfg;
+  cfg.layout.chunk_size = 64;
+  cfg.layout.fragment_size = 8;
+  cfg.key = TestKey();
+  auto session = pipeline::SecureSession::Build(xml, cfg);
+  CHECK_OK(session.status());
+  if (!session.ok()) return;
+  auto report = session.value().Serve(rules);
+  CHECK_OK(report.status());
+  if (!report.ok()) return;
+
+  auto stream = session.value().OpenStream(rules, pipeline::ServeOptions{});
+  CHECK_OK(stream.status());
+  if (!stream.ok()) return;
+  xml::SerializingHandler ser;
+  bool first_event_before_full_fetch = false;
+  size_t events = 0;
+  while (true) {
+    auto item = stream.value()->Next();
+    CHECK_OK(item.status());
+    if (!item.ok() || item.value().end) break;
+    if (++events == 1) {
+      first_event_before_full_fetch =
+          stream.value()->fetcher().bytes_fetched() * 2 <
+          session.value().store().plaintext_size();
+    }
+    ser.Feed(item.value().event, item.value().depth);
+  }
+  CHECK_EQ(ser.output(), report.value().view);
+  CHECK(events > 0);
+  CHECK(first_event_before_full_fetch);
+}
+
 TEST(TamperingDetectedThroughPipeline) {
   auto dom = xml::SaxParser::ParseToDom(kDoc);
   CHECK_OK(dom.status());

@@ -286,6 +286,234 @@ TEST(OracleDescendsWhilePredicateEvidencePossible) {
   CHECK_EQ(ser.output(), "");
 }
 
+// ---------------------------------------------------------------------------
+// Deferred pending subtrees (skip-now-reread-later).
+// ---------------------------------------------------------------------------
+
+Result<pipeline::ServeReport> ServeOpts(const std::string& xml,
+                                        index::Variant variant,
+                                        const pipeline::ServeOptions& opts,
+                                        const std::vector<access::AccessRule>&
+                                            rules) {
+  pipeline::SessionConfig cfg;
+  cfg.variant = variant;
+  cfg.layout.chunk_size = 256;
+  cfg.layout.fragment_size = 32;
+  cfg.key = TestKey();
+  CSXA_ASSIGN_OR_RETURN(auto session, pipeline::SecureSession::Build(xml, cfg));
+  return session.Serve(rules, opts);
+}
+
+/// A document whose largest subtree (MedActs) is guarded by a predicate
+/// whose evidence (Clearance) arrives only *after* it in document order —
+/// the adversarial pending-part workload. `grant` decides whether the
+/// predicate resolves to permit or deny.
+std::string GuardedDocument(bool grant, int items = 120) {
+  std::string xml = "<Hospital><Folder><MedActs>";
+  for (int i = 0; i < items; ++i) {
+    xml += "<Consult><Diagnostic>finding-" + std::to_string(i) +
+           " lorem ipsum dolor sit amet</Diagnostic></Consult>";
+  }
+  xml += "</MedActs><Clearance>";
+  xml += grant ? "open" : "closed";
+  xml += "</Clearance></Folder></Hospital>";
+  return xml;
+}
+
+const char kGuardRules[] = "+ /Hospital/Folder[Clearance = open]/MedActs\n";
+
+TEST(DeferredViewIdenticalToBufferedAndFullStreaming) {
+  // Equivalence matrix: every variant × rule set × pending-budget must
+  // serve the byte-identical authorized view; the budget only changes the
+  // buffering strategy, never the output.
+  for (const std::string& xml :
+       {TestDocument(), GuardedDocument(true), GuardedDocument(false)}) {
+    for (const char* rules_text : kRuleSets) {
+      auto rules = ParseRules(rules_text);
+      const std::string expected = DirectView(xml, rules);
+      for (auto variant : {index::Variant::kTcs, index::Variant::kTcsb,
+                           index::Variant::kTcsbr}) {
+        for (uint64_t budget : {uint64_t{0}, uint64_t{64}, UINT64_MAX}) {
+          pipeline::ServeOptions opts;
+          opts.enable_skip = true;
+          opts.pending_buffer_budget = budget;
+          auto report = ServeOpts(xml, variant, opts, rules);
+          CHECK_OK(report.status());
+          if (report.ok()) CHECK_EQ(report.value().view, expected);
+        }
+      }
+    }
+  }
+  // The guarded rule set across the guarded documents, all variants.
+  for (bool grant : {true, false}) {
+    const std::string xml = GuardedDocument(grant);
+    auto rules = ParseRules(kGuardRules);
+    const std::string expected = DirectView(xml, rules);
+    for (auto variant : {index::Variant::kTcs, index::Variant::kTcsb,
+                         index::Variant::kTcsbr}) {
+      pipeline::ServeOptions deferred{/*enable_skip=*/true,
+                                      /*pending_buffer_budget=*/128};
+      pipeline::ServeOptions buffered{/*enable_skip=*/true, UINT64_MAX};
+      auto d = ServeOpts(xml, variant, deferred, rules);
+      auto b = ServeOpts(xml, variant, buffered, rules);
+      CHECK_OK(d.status());
+      CHECK_OK(b.status());
+      if (!d.ok() || !b.ok()) continue;
+      CHECK_EQ(d.value().view, expected);
+      CHECK_EQ(b.value().view, expected);
+      CHECK(d.value().drive.deferrals > 0);
+      CHECK(b.value().drive.deferrals == 0);
+    }
+  }
+}
+
+TEST(DeferralKeepsPeakBufferedBytesUnderBudget) {
+  // The SOE memory bound the architecture exists to honor: with the
+  // deferral budget on, the huge pending subtree is never buffered, so
+  // peak buffered bytes stay below the budget — while classic buffering
+  // blows straight through it.
+  const uint64_t kBudget = 512;
+  const std::string xml = GuardedDocument(true);
+  auto rules = ParseRules(kGuardRules);
+  pipeline::ServeOptions deferred{true, kBudget};
+  pipeline::ServeOptions buffered{true, UINT64_MAX};
+  auto d = ServeOpts(xml, index::Variant::kTcsbr, deferred, rules);
+  auto b = ServeOpts(xml, index::Variant::kTcsbr, buffered, rules);
+  CHECK_OK(d.status());
+  CHECK_OK(b.status());
+  if (!d.ok() || !b.ok()) return;
+  CHECK(d.value().eval.peak_buffered_bytes < kBudget);
+  CHECK(b.value().eval.peak_buffered_bytes > kBudget);
+  CHECK_EQ(d.value().view, b.value().view);
+  // The granted subtree was re-read: bytes were fetched for it exactly
+  // once, after the grant.
+  CHECK(d.value().drive.rereads == 1);
+  CHECK(d.value().drive.reread_bits > 0);
+}
+
+TEST(BudgetIsGlobalAcrossPendingSiblings) {
+  // Many pending sibling subtrees, each individually under the budget:
+  // only what fits in the *remaining* budget may buffer, the rest must
+  // defer — otherwise the siblings accumulate past the bound the budget
+  // exists to enforce.
+  std::string xml = "<Hospital><Folder>";
+  for (int s = 0; s < 8; ++s) {
+    xml += "<Consult>";
+    for (int i = 0; i < 4; ++i) {
+      xml += "<Diagnostic>case-" + std::to_string(s * 10 + i) +
+             " lorem ipsum dolor</Diagnostic>";
+    }
+    xml += "</Consult>";
+  }
+  xml += "<Clearance>open</Clearance></Folder></Hospital>";
+  auto rules = ParseRules("+ /Hospital/Folder[Clearance = open]/Consult\n");
+  const std::string expected = DirectView(xml, rules);
+  const uint64_t kBudget = 256;  // Each Consult is ~150 encoded bytes.
+  pipeline::ServeOptions deferred{true, kBudget};
+  auto d = ServeOpts(xml, index::Variant::kTcsbr, deferred, rules);
+  CHECK_OK(d.status());
+  if (!d.ok()) return;
+  CHECK_EQ(d.value().view, expected);
+  // At least one sibling buffered (fits the fresh budget) and most
+  // deferred once the buffer filled up.
+  CHECK(d.value().drive.deferrals >= 6);
+  // Peak stays within budget + one subtree's decode-expansion slack.
+  CHECK(d.value().eval.peak_buffered_bytes < 2 * kBudget);
+}
+
+TEST(DeniedDeferralsCostZeroRereads) {
+  const std::string xml = GuardedDocument(false);
+  auto rules = ParseRules(kGuardRules);
+  pipeline::ServeOptions deferred{true, 128};
+  auto d = ServeOpts(xml, index::Variant::kTcsbr, deferred, rules);
+  pipeline::ServeOptions full{false, UINT64_MAX};
+  auto f = ServeOpts(xml, index::Variant::kTcsbr, full, rules);
+  CHECK_OK(d.status());
+  CHECK_OK(f.status());
+  if (!d.ok() || !f.ok()) return;
+  CHECK_EQ(d.value().view, f.value().view);
+  CHECK_EQ(d.value().view, "");
+  CHECK(d.value().drive.deferrals == 1);
+  CHECK(d.value().drive.rereads == 0);
+  CHECK(d.value().drive.reread_bits == 0);
+  CHECK(d.value().eval.deferrals_denied == 1);
+  // The denied subtree dominates the document; deferring it means almost
+  // nothing crossed the wire or was decrypted.
+  CHECK(d.value().wire_bytes * 4 < f.value().wire_bytes);
+  CHECK(d.value().soe.bytes_decrypted * 4 < f.value().soe.bytes_decrypted);
+}
+
+TEST(OracleDefersOnlyWhenPendingSafeAndOverBudget) {
+  auto facts_with = [](std::unordered_set<std::string> tags,
+                       uint64_t subtree_bytes) {
+    access::SubtreeFacts facts = KnownTags(std::move(tags));
+    facts.subtree_bytes = subtree_bytes;
+    return facts;
+  };
+  access::RuleEvaluator::Options opts;
+  opts.pending_buffer_budget = 10;
+  {
+    xml::SerializingHandler ser;
+    access::RuleEvaluator eval(ParseRules("+ /r[Flag]/big\n"), &ser, opts);
+    eval.OnOpen("r", 1);
+    eval.OnOpen("big", 2);
+    // Pending ([Flag] undecided, evidence outside the subtree), no rule can
+    // match inside: defer over budget, buffer under it.
+    CHECK(eval.SubtreeDecision(facts_with({"item"}, 1000), 2) ==
+          access::SkipDecision::kDefer);
+    CHECK(eval.SubtreeDecision(facts_with({"item"}, 5), 2) ==
+          access::SkipDecision::kDescend);
+    // [Flag] is child-axis on r: a Flag *inside* big can never satisfy it,
+    // so even a bitmap containing Flag keeps the deferral safe.
+    CHECK(eval.SubtreeDecision(facts_with({"Flag"}, 1000), 2) ==
+          access::SkipDecision::kDefer);
+    // No bitmap (TCS): token liveness alone still proves safety here — the
+    // rule fully matched at big and [Flag]'s matcher holds no live token.
+    access::SubtreeFacts unknown;
+    unknown.subtree_bytes = 1000;
+    CHECK(eval.SubtreeDecision(unknown, 2) == access::SkipDecision::kDefer);
+    eval.OnClose("big", 2);
+    eval.OnClose("r", 1);
+    CHECK_OK(eval.Finish());
+  }
+  {
+    // Descendant-axis predicate: [//Flag]'s evidence *can* lie anywhere
+    // below r, including inside big — must descend whatever the size,
+    // unless the bitmap rules a Flag out.
+    xml::SerializingHandler ser;
+    access::RuleEvaluator eval(ParseRules("+ /r[//Flag]/big\n"), &ser, opts);
+    eval.OnOpen("r", 1);
+    eval.OnOpen("big", 2);
+    CHECK(eval.SubtreeDecision(facts_with({"Flag", "item"}, 1000), 2) ==
+          access::SkipDecision::kDescend);
+    CHECK(eval.SubtreeDecision(facts_with({"item"}, 1000), 2) ==
+          access::SkipDecision::kDefer);
+    access::SubtreeFacts unknown;
+    unknown.subtree_bytes = 1000;
+    CHECK(eval.SubtreeDecision(unknown, 2) == access::SkipDecision::kDescend);
+    eval.OnClose("big", 2);
+    eval.OnClose("r", 1);
+    CHECK_OK(eval.Finish());
+  }
+  {
+    // A rule of *either sign* that could match inside forbids deferral: a
+    // granted deferral is emitted verbatim, so no inside node may be
+    // re-decided by a deeper target.
+    xml::SerializingHandler ser;
+    access::RuleEvaluator eval(
+        ParseRules("+ /r[Flag]/big\n- //big/item\n"), &ser, opts);
+    eval.OnOpen("r", 1);
+    eval.OnOpen("big", 2);
+    CHECK(eval.SubtreeDecision(facts_with({"item"}, 1000), 2) ==
+          access::SkipDecision::kDescend);
+    CHECK(eval.SubtreeDecision(facts_with({"noise"}, 1000), 2) ==
+          access::SkipDecision::kDefer);
+    eval.OnClose("big", 2);
+    eval.OnClose("r", 1);
+    CHECK_OK(eval.Finish());
+  }
+}
+
 TEST(PipelineNeverFetchesSkippedFragments) {
   // One small permitted element before a large denied one: the large
   // subtree's fragments must never be requested from the terminal.

@@ -163,7 +163,7 @@ TEST(NavigatorCheckpointRestore) {
   auto checkpoint = nav.value()->Save();
   auto a = nav.value()->Next();
   CHECK_OK(a.status());
-  CHECK_OK(nav.value()->Restore(checkpoint));
+  CHECK_OK(nav.value()->SeekTo(checkpoint));
   auto b = nav.value()->Next();
   CHECK_OK(b.status());
   if (a.ok() && b.ok()) {

@@ -5,11 +5,14 @@
 // hashes, and how much the evaluator-driven skip navigation prunes —
 // while asserting every variant serves the byte-identical authorized view.
 //
-// Results are written as JSON (default BENCH_PR2.json) so successive PRs
+// Results are written as JSON (default BENCH_PR3.json) so successive PRs
 // can diff the perf trajectory. The run exits nonzero if any view
-// diverges or if the Skip-index variants (TCSB/TCSBR) fail to *strictly*
+// diverges, if the Skip-index variants (TCSB/TCSBR) fail to *strictly*
 // reduce transferred and decrypted bytes against TCS on the pruning
-// scenarios — the paper's headline claim.
+// scenarios — the paper's headline claim — or if the deferred-mode
+// section (pending predicate guarding the document's largest subtrees)
+// breaches the pending-buffer budget: peak buffered bytes must stay
+// under it while the authorized view stays byte-identical.
 
 #include <cstdint>
 #include <cstdio>
@@ -89,6 +92,10 @@ std::string MakeDocument(int folders, int consults, int analyses) {
       xml += "</Analysis>";
     }
     xml += "</MedActs>";
+    // Clearance *after* the bulky MedActs: a predicate guarding MedActs on
+    // it stays pending across the whole subtree (the deferral workload).
+    xml += std::string("<Clearance>") + (f % 2 ? "closed" : "open") +
+           "</Clearance>";
     xml += "</Folder>";
   }
   xml += "</Hospital>";
@@ -120,6 +127,13 @@ std::vector<Scenario> Scenarios() {
   s.push_back({"needle",
                "+ //Prescription\n",
                /*bitmap_pruning=*/true, /*size_pruning=*/false});
+  // A pending predicate guarding each folder's largest subtree, with the
+  // evidence arriving only after it: the pending-part workload the
+  // deferral strategy (skip-now-reread-later) exists for. Run buffered
+  // here; the deferred_mode section below compares strategies.
+  s.push_back({"deferred_guard",
+               "+ /Hospital/Folder[Clearance = open]/MedActs\n",
+               /*bitmap_pruning=*/false, /*size_pruning=*/false});
   // The running example: structure preservation, a more specific positive
   // rule inside a denial, and a comparison predicate that buffers pending
   // comments. Skipping must coexist with all of it.
@@ -157,6 +171,10 @@ struct VariantRun {
   uint64_t skipped_bytes = 0;
   uint64_t events_in = 0;
   uint64_t peak_buffered = 0;
+  uint64_t peak_buffered_bytes = 0;
+  uint64_t deferrals = 0;
+  uint64_t rereads = 0;
+  uint64_t reread_bytes = 0;
   std::string view;
 };
 
@@ -190,6 +208,7 @@ Result<VariantRun> RunNc(const std::string& xml,
   run.requests = fetcher.requests();
   run.events_in = eval.stats().events_in;
   run.peak_buffered = eval.stats().peak_buffered;
+  run.peak_buffered_bytes = eval.stats().peak_buffered_bytes;
   run.view = ser.output();
   return run;
 }
@@ -224,8 +243,129 @@ Result<VariantRun> RunVariant(const std::string& xml, index::Variant variant,
   run.skipped_bytes = report.drive.skipped_bits / 8;
   run.events_in = report.eval.events_in;
   run.peak_buffered = report.eval.peak_buffered;
+  run.peak_buffered_bytes = report.eval.peak_buffered_bytes;
+  run.deferrals = report.drive.deferrals;
+  run.rereads = report.drive.rereads;
+  run.reread_bytes = report.drive.reread_bits / 8;
   run.view = std::move(report.view);
   return run;
+}
+
+/// The adversarial pending-part workload for the deferred-mode section: a
+/// few folders whose dominating MedActs subtree is guarded by a
+/// Clearance predicate resolving only after it, alternating grant/deny.
+std::string MakeGuardedDocument(int folders, int consults) {
+  std::string xml = "<Hospital>";
+  for (int f = 0; f < folders; ++f) {
+    xml += "<Folder><MedActs>";
+    for (int c = 0; c < consults; ++c) {
+      xml += "<Consult><Diagnostic>" + Payload("diag", f * 100 + c, 96) +
+             "</Diagnostic></Consult>";
+    }
+    xml += "</MedActs>";
+    xml += std::string("<Clearance>") + (f % 2 ? "closed" : "open") +
+           "</Clearance></Folder>";
+  }
+  xml += "</Hospital>";
+  return xml;
+}
+
+/// Compares the three pending-part strategies on the guarded workload and
+/// enforces the PR's regression gate: with the deferral budget on, peak
+/// buffered bytes must stay below the budget while the view stays
+/// byte-identical — even though a pending predicate guards the document's
+/// largest subtrees. Appends a "deferred_mode" JSON object; returns false
+/// when a gate fails.
+bool RunDeferredMode(std::string* json, const crypto::ChunkLayout& layout) {
+  const uint64_t kBudget = 1024;
+  const std::string xml = MakeGuardedDocument(/*folders=*/6, /*consults=*/24);
+  auto parsed =
+      access::ParseRuleList("+ /Hospital/Folder[Clearance = open]/MedActs\n");
+  if (!parsed.ok()) return false;
+  std::vector<access::AccessRule> rules = parsed.take();
+
+  pipeline::SessionConfig cfg;
+  cfg.layout = layout;
+  cfg.key = BenchKey();
+  auto session = pipeline::SecureSession::Build(xml, cfg);
+  if (!session.ok()) {
+    std::fprintf(stderr, "deferred_mode: %s\n",
+                 session.status().ToString().c_str());
+    return false;
+  }
+  pipeline::ServeOptions deferred{/*enable_skip=*/true, kBudget};
+  pipeline::ServeOptions buffered{/*enable_skip=*/true, UINT64_MAX};
+  pipeline::ServeOptions full{/*enable_skip=*/false, UINT64_MAX};
+  auto d = session.value().Serve(rules, deferred);
+  auto b = session.value().Serve(rules, buffered);
+  auto f = session.value().Serve(rules, full);
+  if (!d.ok() || !b.ok() || !f.ok()) {
+    std::fprintf(stderr, "deferred_mode: serve failed\n");
+    return false;
+  }
+
+  bool ok = true;
+  if (d.value().view != f.value().view || b.value().view != f.value().view) {
+    std::fprintf(stderr,
+                 "deferred_mode: views diverge across strategies\n");
+    ok = false;
+  }
+  if (d.value().eval.peak_buffered_bytes >= kBudget) {
+    std::fprintf(stderr,
+                 "deferred_mode: peak buffered bytes %llu breach the %llu "
+                 "budget\n",
+                 static_cast<unsigned long long>(
+                     d.value().eval.peak_buffered_bytes),
+                 static_cast<unsigned long long>(kBudget));
+    ok = false;
+  }
+  if (b.value().eval.peak_buffered_bytes < kBudget) {
+    std::fprintf(stderr,
+                 "deferred_mode: workload not adversarial (buffered peak "
+                 "%llu under budget)\n",
+                 static_cast<unsigned long long>(
+                     b.value().eval.peak_buffered_bytes));
+    ok = false;
+  }
+  if (d.value().drive.deferrals == 0 || d.value().drive.rereads == 0 ||
+      d.value().eval.deferrals_denied == 0) {
+    std::fprintf(stderr,
+                 "deferred_mode: expected both granted and denied "
+                 "deferrals\n");
+    ok = false;
+  }
+
+  auto u64 = [](uint64_t v) { return std::to_string(v); };
+  auto emit = [&](const char* name, const pipeline::ServeReport& r) {
+    *json += std::string("    \"") + name + "\": {";
+    *json += "\"wire_bytes\": " + u64(r.wire_bytes);
+    *json += ", \"bytes_decrypted\": " + u64(r.soe.bytes_decrypted);
+    *json += ", \"peak_buffered\": " + u64(r.eval.peak_buffered);
+    *json += ", \"peak_buffered_bytes\": " + u64(r.eval.peak_buffered_bytes);
+    *json += ", \"deferrals\": " + u64(r.drive.deferrals);
+    *json += ", \"deferrals_granted\": " + u64(r.eval.deferrals_granted);
+    *json += ", \"deferrals_denied\": " + u64(r.eval.deferrals_denied);
+    *json += ", \"rereads\": " + u64(r.drive.rereads);
+    *json += ", \"reread_bytes\": " + u64(r.drive.reread_bits / 8);
+    *json += "}";
+  };
+  *json += "  \"deferred_mode\": {\n";
+  *json += "    \"document_bytes\": " + u64(xml.size()) + ",\n";
+  *json += "    \"pending_buffer_budget\": " + u64(kBudget) + ",\n";
+  emit("deferred", d.value());
+  *json += ",\n";
+  emit("buffered", b.value());
+  *json += ",\n";
+  emit("full_stream", f.value());
+  *json += ",\n    \"views_identical\": ";
+  *json += d.value().view == f.value().view &&
+                   b.value().view == f.value().view
+               ? "true"
+               : "false";
+  *json += ",\n    \"budget_respected\": ";
+  *json += d.value().eval.peak_buffered_bytes < kBudget ? "true" : "false";
+  *json += "\n  },\n";
+  return ok;
 }
 
 std::string JsonEscape(const std::string& s) {
@@ -253,6 +393,10 @@ void AppendVariantJson(std::string* json, const VariantRun& run,
   *json += ", \"skipped_encoded_bytes\": " + u64(run.skipped_bytes);
   *json += ", \"events_in\": " + u64(run.events_in);
   *json += ", \"peak_buffered\": " + u64(run.peak_buffered);
+  *json += ", \"peak_buffered_bytes\": " + u64(run.peak_buffered_bytes);
+  *json += ", \"deferrals\": " + u64(run.deferrals);
+  *json += ", \"rereads\": " + u64(run.rereads);
+  *json += ", \"reread_bytes\": " + u64(run.reread_bytes);
   *json += ", \"view_matches_reference\": ";
   *json += view_matches ? "true" : "false";
   *json += "}";
@@ -262,7 +406,7 @@ void AppendVariantJson(std::string* json, const VariantRun& run,
 
 int main(int argc, char** argv) {
   int folders = 12;
-  std::string out_path = "BENCH_PR2.json";
+  std::string out_path = "BENCH_PR3.json";
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--quick") {
@@ -290,7 +434,7 @@ int main(int argc, char** argv) {
                          index::Variant::kTcsbr};
 
   std::string json = "{\n  \"benchmark\": \"csxa_skip_navigation\",\n";
-  json += "  \"pr\": 2,\n";
+  json += "  \"pr\": 3,\n";
   json += "  \"config\": {\"folders\": " + std::to_string(folders) +
           ", \"document_bytes\": " + std::to_string(xml.size()) +
           ", \"chunk_size\": " + std::to_string(layout.chunk_size) +
@@ -379,7 +523,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  json += "  ],\n  \"checks_passed\": ";
+  json += "  ],\n";
+  if (!RunDeferredMode(&json, layout)) ok = false;
+  json += "  \"checks_passed\": ";
   json += ok ? "true" : "false";
   json += "\n}\n";
 

@@ -4,15 +4,18 @@
 //     --SecureDocumentStore--> encrypted chunks on the untrusted terminal
 //     --SecureFetcher/SoeDecryptor--> verified plaintext, fetched lazily
 //     --DocumentNavigator--> SAX events
-//     --pipeline::SecurePipeline--> descend-vs-skip per the evaluator's
-//       token analysis (subtrees proven inert are never transferred)
+//     --pipeline::AuthorizedViewReader--> descend-vs-skip-vs-defer per the
+//       evaluator's token analysis (subtrees proven inert are never
+//       transferred; over-budget pending subtrees are skipped behind a
+//       checkpoint and re-read only if granted)
 //     --access::RuleEvaluator--> authorized pruned event stream
-//     --SerializingHandler--> authorized view, delivered to the user
+//     --pull loop / SerializingHandler--> authorized view, delivered
 //
 // With no arguments it runs the built-in sample (the paper's medical-folder
 // example) verbosely; --selftest checks the produced view (with skipping
-// both on and off) against the expected result and the tamper-detection
-// path, exiting nonzero on any mismatch (this is the ctest smoke test).
+// on, off, and with the defer-everything budget) against the expected
+// result and the tamper-detection path, exiting nonzero on any mismatch
+// (this is the ctest smoke test).
 
 #include <cerrno>
 #include <cstdint>
@@ -100,6 +103,7 @@ struct Options {
   bool selftest = false;
   bool verbose = true;
   bool enable_skip = true;
+  uint64_t defer_budget = UINT64_MAX;  ///< Pending-subtree buffer budget.
   std::string doc_path;
   std::string rules_path;
   std::string subject = "doctor";
@@ -121,6 +125,7 @@ pipeline::SessionConfig DemoConfig(const Options& opt) {
   cfg.layout = opt.layout;
   cfg.key = DemoKey();
   cfg.enable_skip = opt.enable_skip;
+  cfg.pending_buffer_budget = opt.defer_budget;
   return cfg;
 }
 
@@ -228,13 +233,21 @@ int Run(const Options& opt) {
                 static_cast<unsigned long long>(pr.drive.skipped_bits / 8),
                 static_cast<unsigned long long>(pr.eval.skip_checks));
     std::printf("  events in/out/pruned %llu/%llu/%llu, rule hits %llu, "
-                "pending predicates %llu, peak buffered %zu\n",
+                "pending predicates %llu, peak buffered %zu events "
+                "(%llu bytes)\n",
                 static_cast<unsigned long long>(pr.eval.events_in),
                 static_cast<unsigned long long>(pr.eval.events_emitted),
                 static_cast<unsigned long long>(pr.eval.events_pruned),
                 static_cast<unsigned long long>(pr.eval.rule_hits),
                 static_cast<unsigned long long>(pr.eval.predicates_spawned),
-                pr.eval.peak_buffered);
+                pr.eval.peak_buffered,
+                static_cast<unsigned long long>(pr.eval.peak_buffered_bytes));
+    std::printf("  subtrees deferred    %8llu (granted %llu, denied %llu; "
+                "%llu bytes re-read)\n",
+                static_cast<unsigned long long>(pr.drive.deferrals),
+                static_cast<unsigned long long>(pr.eval.deferrals_granted),
+                static_cast<unsigned long long>(pr.eval.deferrals_denied),
+                static_cast<unsigned long long>(pr.drive.reread_bits / 8));
   }
 
   if (opt.selftest) {
@@ -251,6 +264,24 @@ int Run(const Options& opt) {
                    "selftest: skip-enabled view diverges from full "
                    "streaming\n  skip: %s\n  full: %s\n",
                    pr.view.c_str(), full.value().view.c_str());
+      rc = 1;
+    }
+    // So must the most aggressive deferral strategy (budget 0: every
+    // pending subtree that can be safely skipped is skipped and re-read
+    // only on grant).
+    pipeline::ServeOptions deferred;
+    deferred.enable_skip = true;
+    deferred.pending_buffer_budget = 0;
+    auto defer = session.value().Serve(subject_rules, deferred);
+    if (!defer.ok()) {
+      std::fprintf(stderr, "selftest: deferred-mode run failed: %s\n",
+                   defer.status().ToString().c_str());
+      rc = 1;
+    } else if (defer.value().view != pr.view) {
+      std::fprintf(stderr,
+                   "selftest: deferred-mode view diverges\n  defer: %s\n"
+                   "  skip:  %s\n",
+                   defer.value().view.c_str(), pr.view.c_str());
       rc = 1;
     }
     if (opt.doc_path.empty() && opt.rules_path.empty()) {
@@ -287,6 +318,16 @@ bool ParseUint32(const char* text, uint32_t* out) {
   return true;
 }
 
+bool ParseUint64(const char* text, uint64_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(text, &end, 10);
+  if (errno != 0 || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -301,6 +342,13 @@ int main(int argc, char** argv) {
       opt.verbose = false;
     } else if (arg == "--no-skip") {
       opt.enable_skip = false;
+    } else if (arg == "--defer-budget") {
+      const char* v = next();
+      if (!ParseUint64(v, &opt.defer_budget)) {
+        std::fprintf(stderr, "--defer-budget needs a byte count, got %s\n",
+                     v == nullptr ? "(nothing)" : v);
+        return 2;
+      }
     } else if (arg == "--doc") {
       if (const char* v = next()) opt.doc_path = v;
     } else if (arg == "--rules") {
@@ -333,7 +381,8 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: csxa_demo [--selftest] [--doc FILE] [--rules FILE]\n"
           "                 [--subject NAME] [--variant tc|tcs|tcsb|tcsbr]\n"
-          "                 [--chunk BYTES] [--fragment BYTES] [--no-skip]\n");
+          "                 [--chunk BYTES] [--fragment BYTES] [--no-skip]\n"
+          "                 [--defer-budget BYTES]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument %s (try --help)\n", arg.c_str());
