@@ -17,6 +17,7 @@ PathMatcher::PathMatcher(const std::vector<xpath::Step>* steps, int base_depth)
     root.exact.push_back(std::move(init));
   }
   stack_.push_back(std::move(root));
+  live_ = 1;
 }
 
 void PathMatcher::OnOpen(const std::string& tag, int depth,
@@ -24,11 +25,14 @@ void PathMatcher::OnOpen(const std::string& tag, int depth,
                          std::vector<CondSet>* full_matches) {
   // Self-align on the context node: events at or above base_depth_ (or
   // out of step with the frames) are outside this matcher's subtree.
-  if (depth != base_depth_ + static_cast<int>(stack_.size())) return;
-  const Frame& top = stack_.back();
-  Frame next;
+  if (depth != base_depth_ + static_cast<int>(live_)) return;
+  if (stack_.size() == live_) stack_.emplace_back();
+  const Frame& top = stack_[live_ - 1];
+  Frame& next = stack_[live_];
   // Tokens stay alive below a descendant-axis step for the whole subtree.
-  next.desc = top.desc;
+  // assign() into the pooled frame reuses its retained capacity.
+  next.exact.clear();
+  next.desc.assign(top.desc.begin(), top.desc.end());
 
   auto advance = [&](const TokenState& t) {
     const xpath::Step& step = (*steps_)[t.next_step];
@@ -58,20 +62,21 @@ void PathMatcher::OnOpen(const std::string& tag, int depth,
   for (const TokenState& t : top.exact) {
     if ((*steps_)[t.next_step].axis == xpath::Axis::kChild) advance(t);
   }
+  // advance() appends to next.desc while this walks top.desc — distinct
+  // pooled frames, so no iterator is invalidated.
   for (const TokenState& t : top.desc) advance(t);
 
-  stack_.push_back(std::move(next));
+  ++live_;
 }
 
 void PathMatcher::OnClose(int depth) {
-  if (stack_.size() > 1 &&
-      depth == base_depth_ + static_cast<int>(stack_.size()) - 1) {
-    stack_.pop_back();
+  if (live_ > 1 && depth == base_depth_ + static_cast<int>(live_) - 1) {
+    --live_;  // The popped frame parks in the pool, capacity intact.
   }
 }
 
 bool PathMatcher::CanCompleteWithin(const SubtreeFacts& facts) const {
-  const Frame& top = stack_.back();
+  const Frame& top = stack_[live_ - 1];
   if (top.exact.empty() && top.desc.empty()) return false;
   // Any full match below needs at least one more element open.
   if (facts.tags_known && facts.no_elements_below) return false;
@@ -218,7 +223,8 @@ Decision RuleEvaluator::Decide(const NodeRec& node, CondSet* blockers) const {
   // Stability: hit sets are fixed once a node is open and predicate states
   // only move kPending -> {kTrue, kFalse}, so a kDeny or kPermit returned
   // here is irrevocable — the property the skip oracle builds on.
-  std::vector<int> depths;
+  std::vector<int>& depths = depths_scratch_;
+  depths.clear();
   for (const NodeRec* n = &node; n != nullptr; n = n->parent.get()) {
     for (const auto& h : n->hits) depths.push_back(h.target_depth);
   }
@@ -310,6 +316,35 @@ SkipDecision RuleEvaluator::SubtreeDecision(const SubtreeFacts& facts,
   }
   ++stats_.defers_advised;
   return SkipDecision::kDefer;
+}
+
+bool RuleEvaluator::WholeSubtreeAuthorized(const SubtreeFacts& facts,
+                                           int depth) {
+  if (element_stack_.empty() || element_stack_.back()->depth != depth) {
+    return false;  // Misaligned caller: never promise.
+  }
+  // 1. The element itself must be irrevocably permitted (kPermit is stable
+  //    — see Decide()); pending or denied elements stream selectively.
+  if (Decide(*element_stack_.back()) != Decision::kPermit) return false;
+  // 2. No pending predicate may gather evidence inside: a value collection
+  //    or a possible predicate-path match below could flip decisions of
+  //    buffered events — the subtree would still stream, but a conservative
+  //    promise is worthless if its conditions ever need revisiting.
+  for (const auto& inst : instances_) {
+    if (inst->state != PredInstance::State::kPending) continue;
+    if (!inst->collections.empty()) return false;
+    if (inst->matcher.CanCompleteWithin(facts)) return false;
+  }
+  // 3. No rule automaton of either sign can reach a target inside: a
+  //    deeper positive target is harmless (already permitted) but could
+  //    spawn pending predicates; a deeper negative target would deny — and
+  //    therefore skip — a descendant subtree. Either way the "streams in
+  //    full" promise would break.
+  for (const auto& matcher : matchers_) {
+    if (matcher->CanCompleteWithin(facts)) return false;
+  }
+  ++stats_.full_grants_advised;
+  return true;
 }
 
 size_t RuleEvaluator::RegisterDeferral() {
@@ -544,7 +579,8 @@ void RuleEvaluator::OnOpen(const std::string& tag, int depth) {
     auto inst = instances_[i];
     if (inst->state != PredInstance::State::kPending) continue;
     if (depth <= inst->root_depth) continue;
-    std::vector<CondSet> fulls;
+    std::vector<CondSet>& fulls = fulls_scratch_;
+    fulls.clear();
     inst->matcher.OnOpen(tag, depth, this, &fulls);
     for (CondSet& conds : fulls) {
       if (inst->pred->op == xpath::CompareOp::kExists) {
@@ -564,7 +600,8 @@ void RuleEvaluator::OnOpen(const std::string& tag, int depth) {
   // 2. Rule automata.
   std::vector<NodeRec::Hit> own_hits;
   for (size_t r = 0; r < rules_.size(); ++r) {
-    std::vector<CondSet> fulls;
+    std::vector<CondSet>& fulls = fulls_scratch_;
+    fulls.clear();
     matchers_[r]->OnOpen(tag, depth, this, &fulls);
     for (CondSet& conds : fulls) {
       own_hits.push_back({&rules_[r], depth, std::move(conds)});

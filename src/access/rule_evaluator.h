@@ -127,7 +127,12 @@ class PathMatcher {
     std::vector<TokenState> exact;  ///< Prefix matched ending at this node.
     std::vector<TokenState> desc;   ///< Waiting on a descendant-axis match.
   };
-  std::vector<Frame> stack_;  ///< stack_[0] = virtual context node.
+  /// Frame pool: stack_[0..live_) are the active frames (stack_[0] = the
+  /// virtual context node); slots above live_ keep their vectors'
+  /// capacity, so the push on every element open reuses storage instead
+  /// of allocating (PR 2 flagged the per-event churn).
+  std::vector<Frame> stack_;
+  size_t live_ = 0;
 };
 
 struct PredInstance {
@@ -234,6 +239,17 @@ class RuleEvaluator : public xml::EventHandler,
   ///     negative-rule tokens are irrelevant below an irrevocable deny.
   SkipDecision SubtreeDecision(const SubtreeFacts& facts, int depth);
 
+  /// Look-ahead oracle for the fetch planner, callable right after
+  /// SubtreeDecision() answered kDescend: true when the just-opened
+  /// element's subtree will provably be streamed *in full* — the element's
+  /// decision is an irrevocable permit, no pending predicate can gather
+  /// evidence inside, and no rule automaton of either sign can reach a
+  /// target inside (so no descendant can be re-decided, skipped or
+  /// deferred). The pipeline then hints the subtree's byte range to the
+  /// fetcher as wanted, letting it batch the whole range in few round
+  /// trips. Purely advisory: a false negative only costs smaller batches.
+  bool WholeSubtreeAuthorized(const SubtreeFacts& facts, int depth);
+
   /// Records that the driver took a kDefer answer: the just-opened element
   /// (the one SubtreeDecision was consulted for) becomes a *deferred
   /// subtree* — its open/close events stay queued as usual, but its content
@@ -268,6 +284,7 @@ class RuleEvaluator : public xml::EventHandler,
     uint64_t skip_checks = 0;         ///< SubtreeDecision() queries.
     uint64_t skips_advised = 0;       ///< ... that answered kSkip.
     uint64_t defers_advised = 0;      ///< ... that answered kDefer.
+    uint64_t full_grants_advised = 0;  ///< WholeSubtreeAuthorized() == true.
     uint64_t subtrees_deferred = 0;   ///< RegisterDeferral() calls.
     uint64_t deferrals_granted = 0;   ///< Deferred opens that were emitted.
     uint64_t deferrals_denied = 0;    ///< Deferred opens that were dropped.
@@ -313,9 +330,15 @@ class RuleEvaluator : public xml::EventHandler,
   std::vector<std::shared_ptr<internal::PredInstance>> instances_;
 
   // Per-open-event memo so several tokens crossing the same predicated
-  // step share one instance.
+  // step share one instance. clear()ed per event — capacity persists.
   std::vector<std::pair<const xpath::Predicate*,
                         std::shared_ptr<internal::PredInstance>>> spawn_memo_;
+
+  /// Reused scratch: full-match collector handed to every matcher on each
+  /// open event, and the target-depth list Decide() sorts — both were
+  /// reallocated per event before (PR 2's flagged churn).
+  std::vector<internal::CondSet> fulls_scratch_;
+  mutable std::vector<int> depths_scratch_;
 
   std::vector<std::shared_ptr<NodeRec>> element_stack_;
   std::deque<OutEvent> queue_;

@@ -1,0 +1,20 @@
+#ifndef CSXA_COMMON_CLOCK_H_
+#define CSXA_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace csxa {
+
+/// Monotonic wall clock in nanoseconds, for the cost model's stage
+/// timings (fetch / decrypt / hash / evaluate).
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace csxa
+
+#endif  // CSXA_COMMON_CLOCK_H_

@@ -1,0 +1,199 @@
+#include "crypto/digest_cache.h"
+
+#include <algorithm>
+
+namespace csxa::crypto {
+
+VerifiedDigestCache::VerifiedDigestCache(uint32_t fragments_per_chunk,
+                                         size_t capacity)
+    : frags_(fragments_per_chunk), levels_(1), capacity_(capacity) {
+  for (uint32_t w = frags_; w > 1; w /= 2) ++levels_;
+}
+
+size_t VerifiedDigestCache::NodeIndex(int level, uint64_t index) const {
+  // Level-major offset: level 0 starts at 0 with frags_ nodes, level l
+  // starts after frags_ + frags_/2 + ... nodes.
+  size_t off = 0;
+  uint32_t width = frags_;
+  for (int l = 0; l < level; ++l) {
+    off += width;
+    width /= 2;
+  }
+  return off + index;
+}
+
+const VerifiedDigestCache::Entry* VerifiedDigestCache::Find(
+    uint64_t chunk) const {
+  for (const Entry& e : entries_) {
+    if (e.chunk == chunk && !e.known.empty()) {
+      e.last_use = ++clock_;
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+VerifiedDigestCache::Entry* VerifiedDigestCache::Obtain(uint64_t chunk) {
+  for (Entry& e : entries_) {
+    if (e.chunk == chunk && !e.known.empty()) {
+      e.last_use = ++clock_;
+      return &e;
+    }
+  }
+  Entry* e;
+  if (entries_.size() < capacity_) {
+    e = &entries_.emplace_back();
+  } else {
+    // Displace the least recently used *unpinned* entry (capacity is
+    // small; a linear scan is cheaper than any index). Pinned chunks are
+    // the ones the in-flight batch's waivers and trimming hints depend
+    // on — evicting one mid-batch would fail an honest response.
+    auto pinned = [this](uint64_t chunk) {
+      return std::find(pinned_.begin(), pinned_.end(), chunk) !=
+             pinned_.end();
+    };
+    size_t victim = entries_.size();
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (pinned(entries_[i].chunk)) continue;
+      if (victim == entries_.size() ||
+          entries_[i].last_use < entries_[victim].last_use) {
+        victim = i;
+      }
+    }
+    if (victim == entries_.size()) return nullptr;  // All slots pinned.
+    ++stats_.evictions;
+    e = &entries_[victim];
+  }
+  e->chunk = chunk;
+  e->last_use = ++clock_;
+  e->nodes.assign(2 * size_t{frags_} - 1, Sha1Digest{});
+  e->known.assign(2 * size_t{frags_} - 1, 0);
+  return e;
+}
+
+void VerifiedDigestCache::FillIn(Entry* e) {
+  // Combine upward wherever both children are known: cached coverage
+  // climbs as high as it can, so any later range whose flanking subtrees
+  // fall under known nodes verifies bare.
+  uint32_t width = frags_;
+  for (int level = 0; level + 1 < levels_; ++level) {
+    for (uint64_t i = 0; i + 1 < width; i += 2) {
+      size_t left = NodeIndex(level, i);
+      size_t right = NodeIndex(level, i + 1);
+      size_t up = NodeIndex(level + 1, i / 2);
+      if (!e->known[up] && e->known[left] && e->known[right]) {
+        e->nodes[up] = Sha1::HashPair(e->nodes[left], e->nodes[right]);
+        e->known[up] = 1;
+      }
+    }
+    width /= 2;
+  }
+}
+
+bool VerifiedDigestCache::CanVerifyBare(uint64_t chunk, uint32_t first,
+                                        uint32_t last) const {
+  // Pure probe: planner and fetcher may ask repeatedly while shaping one
+  // batch, so hit/miss accounting happens at verification time
+  // (RecordBareHit / the decryptor's material path), not here.
+  const Entry* e = Find(chunk);
+  if (e == nullptr || first > last || last >= frags_) return false;
+  uint64_t lo = first, hi = last, width = frags_;
+  for (int level = 0; width > 1; ++level, lo /= 2, hi /= 2, width /= 2) {
+    if (lo % 2 == 1 && !e->known[NodeIndex(level, lo - 1)]) return false;
+    if (hi % 2 == 0 && hi + 1 < width &&
+        !e->known[NodeIndex(level, hi + 1)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void VerifiedDigestCache::RecordBareHit() const { ++stats_.bare_hits; }
+void VerifiedDigestCache::RecordMiss() const { ++stats_.misses; }
+
+std::vector<ProofNode> VerifiedDigestCache::ProofFor(uint64_t chunk,
+                                                     uint32_t first,
+                                                     uint32_t last) const {
+  std::vector<ProofNode> proof;
+  const Entry* e = Find(chunk);
+  if (e == nullptr) return proof;
+  uint64_t lo = first, hi = last, width = frags_;
+  for (int level = 0; width > 1; ++level, lo /= 2, hi /= 2, width /= 2) {
+    if (lo % 2 == 1) {
+      proof.push_back({level, lo - 1, e->nodes[NodeIndex(level, lo - 1)]});
+    }
+    if (hi % 2 == 0 && hi + 1 < width) {
+      proof.push_back({level, hi + 1, e->nodes[NodeIndex(level, hi + 1)]});
+    }
+  }
+  return proof;
+}
+
+const Sha1Digest* VerifiedDigestCache::Root(uint64_t chunk) const {
+  const Entry* e = Find(chunk);
+  return e == nullptr ? nullptr : &e->root;
+}
+
+const Sha1Digest* VerifiedDigestCache::Node(uint64_t chunk, int level,
+                                            uint64_t index) const {
+  const Entry* e = Find(chunk);
+  if (e == nullptr || level < 0 || level >= levels_ ||
+      index >= (uint64_t{frags_} >> level)) {
+    return nullptr;
+  }
+  size_t idx = NodeIndex(level, index);
+  return e->known[idx] ? &e->nodes[idx] : nullptr;
+}
+
+uint64_t VerifiedDigestCache::KnownMask(uint64_t chunk) const {
+  const Entry* e = Find(chunk);
+  if (e == nullptr || e->known.size() > 64) return 0;
+  uint64_t mask = 0;
+  for (size_t i = 0; i < e->known.size(); ++i) {
+    if (e->known[i]) mask |= uint64_t{1} << i;
+  }
+  return mask;
+}
+
+uint64_t VerifiedDigestCache::FlatIndex(uint32_t fragments_per_chunk,
+                                        int level, uint64_t index) {
+  uint64_t off = 0;
+  uint32_t width = fragments_per_chunk;
+  for (int l = 0; l < level; ++l) {
+    off += width;
+    width /= 2;
+  }
+  return off + index;
+}
+
+void VerifiedDigestCache::Record(uint64_t chunk, const Sha1Digest& root,
+                                 uint32_t first,
+                                 const std::vector<Sha1Digest>& leaves,
+                                 const std::vector<ProofNode>& proof) {
+  if (capacity_ == 0) return;
+  Entry* e = Obtain(chunk);
+  if (e == nullptr) return;  // Every slot pinned by the in-flight batch.
+  e->root = root;
+  e->nodes[NodeIndex(levels_ - 1, 0)] = root;
+  e->known[NodeIndex(levels_ - 1, 0)] = 1;
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    if (first + i >= frags_) break;
+    e->nodes[NodeIndex(0, first + i)] = leaves[i];
+    e->known[NodeIndex(0, first + i)] = 1;
+  }
+  for (const ProofNode& node : proof) {
+    // Sanitize coordinates: only well-formed (level, index) pairs land in
+    // the tree (a junk extra node could otherwise overwrite a slot a later
+    // bare read consults — still caught by the root comparison, but a
+    // needless failure).
+    if (node.level < 0 || node.level >= levels_) continue;
+    if (node.index >= (uint64_t{frags_} >> node.level)) continue;
+    size_t idx = NodeIndex(node.level, node.index);
+    e->nodes[idx] = node.hash;
+    e->known[idx] = 1;
+  }
+  FillIn(e);
+  ++stats_.records;
+}
+
+}  // namespace csxa::crypto

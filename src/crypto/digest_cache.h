@@ -1,0 +1,134 @@
+#ifndef CSXA_CRYPTO_DIGEST_CACHE_H_
+#define CSXA_CRYPTO_DIGEST_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/merkle.h"
+#include "crypto/sha1.h"
+
+namespace csxa::crypto {
+
+/// Small, bounded SOE-side cache of *already authenticated* Merkle material,
+/// keyed by chunk index. Once a chunk has been verified the classic way
+/// (leaf hashes + sibling proof + decrypted ChunkDigest), every hash the SOE
+/// computed or received en route is as trustworthy as the digest itself —
+/// the cache keeps those node hashes so that a later read touching the same
+/// chunk (a deferral re-read, a hot chunk's next fragment) can be served
+/// *bare*: ciphertext only, no sibling hashes on the wire, no ChunkDigest
+/// transfer or decryption. The re-read is verified by recomputing the leaf
+/// hashes of the shipped fragments and combining them with cached sibling
+/// hashes up to the cached, authenticated root.
+///
+/// Security argument: entries are written exclusively after a full
+/// digest-chain verification, so every cached hash is collision-bound to
+/// the ciphertext the document owner sealed. A terminal tampering with
+/// re-read ciphertext changes the recomputed leaf hash, the recombined
+/// root diverges from the cached one, and the read is rejected — the cache
+/// narrows the *wire format*, never the trust chain. Capacity is a few
+/// dozen entries (one entry is ~2·m hashes for m fragments per chunk), so
+/// the SOE memory bound is respected; eviction only costs a fallback to
+/// the classic proof-carrying read.
+class VerifiedDigestCache {
+ public:
+  /// `fragments_per_chunk` must be the layout's (power-of-two) value.
+  /// `capacity` 0 disables the cache entirely (every lookup misses).
+  VerifiedDigestCache(uint32_t fragments_per_chunk, size_t capacity);
+
+  /// True when the cache holds every sibling hash a proof for leaves
+  /// [first, last] of `chunk` would contain, plus the root — i.e. the
+  /// chunk can be re-read bare.
+  bool CanVerifyBare(uint64_t chunk, uint32_t first, uint32_t last) const;
+
+  /// The cached sibling hashes for [first, last], in ProofForRange shape.
+  /// Only valid when CanVerifyBare() returned true.
+  std::vector<ProofNode> ProofFor(uint64_t chunk, uint32_t first,
+                                  uint32_t last) const;
+
+  /// The authenticated root of `chunk`, or nullptr when not cached.
+  const Sha1Digest* Root(uint64_t chunk) const;
+
+  /// The cached node at (level, index), or nullptr when unknown.
+  const Sha1Digest* Node(uint64_t chunk, int level, uint64_t index) const;
+
+  /// Bitmask of known nodes (bit = FlatIndex(level, index)), for the
+  /// proof-trimming hint of a BatchRequest: the terminal omits every
+  /// sibling hash the SOE already holds. 0 when the chunk is uncached or
+  /// the tree exceeds 64 nodes (no trimming, only wasted wire).
+  uint64_t KnownMask(uint64_t chunk) const;
+
+  /// Level-major flat index shared by KnownMask and the terminal's
+  /// trimming: leaves first, then each level up, root last.
+  static uint64_t FlatIndex(uint32_t fragments_per_chunk, int level,
+                            uint64_t index);
+
+  /// Scoped pin: while alive, the named chunks cannot be evicted (a
+  /// Record() of a new chunk that would displace a pinned entry becomes a
+  /// no-op instead). DecryptVerifiedBatch pins every chunk whose material
+  /// the request waived or trimmed, so mid-batch insertions can never
+  /// invalidate claims the request was built on.
+  class PinScope {
+   public:
+    PinScope(VerifiedDigestCache* cache, std::vector<uint64_t> chunks)
+        : cache_(cache) {
+      cache_->pinned_ = std::move(chunks);
+    }
+    ~PinScope() { cache_->pinned_.clear(); }
+    PinScope(const PinScope&) = delete;
+    PinScope& operator=(const PinScope&) = delete;
+
+   private:
+    VerifiedDigestCache* cache_;
+  };
+
+  /// Records authenticated material after a successful verification: the
+  /// recomputed leaf hashes of [first, first + leaves.size()), the sibling
+  /// hashes that were shipped, and the root the digest confirmed. Interior
+  /// nodes derivable from known children are filled in eagerly, so later
+  /// ranges need no hashes the cache cannot produce.
+  void Record(uint64_t chunk, const Sha1Digest& root, uint32_t first,
+              const std::vector<Sha1Digest>& leaves,
+              const std::vector<ProofNode>& proof);
+
+  struct Stats {
+    uint64_t bare_hits = 0;    ///< Chunk reads actually verified bare.
+    uint64_t misses = 0;       ///< Material-path verifications of uncached chunks.
+    uint64_t records = 0;      ///< Verified chunks recorded.
+    uint64_t evictions = 0;    ///< LRU entries displaced.
+  };
+  const Stats& stats() const { return stats_; }
+  size_t capacity() const { return capacity_; }
+  /// Verification-time accounting (CanVerifyBare itself is a pure probe).
+  void RecordBareHit() const;
+  void RecordMiss() const;
+
+ private:
+  struct Entry {
+    uint64_t chunk = 0;
+    mutable uint64_t last_use = 0;  ///< LRU clock; touched on const reads.
+    Sha1Digest root{};
+    /// Flat binary tree, level-major: nodes_[0..m) = leaves, then m/2
+    /// level-1 nodes, ..., ending with the root at nodes_[2m-2].
+    std::vector<Sha1Digest> nodes;
+    std::vector<uint8_t> known;
+  };
+
+  size_t NodeIndex(int level, uint64_t index) const;
+  const Entry* Find(uint64_t chunk) const;
+  /// Find or insert-with-eviction; nullptr when every evictable slot is
+  /// pinned (the caller simply skips recording).
+  Entry* Obtain(uint64_t chunk);
+  void FillIn(Entry* e);
+
+  uint32_t frags_;
+  int levels_;  ///< log2(frags_) + 1.
+  size_t capacity_;
+  mutable uint64_t clock_ = 0;
+  std::vector<Entry> entries_;
+  std::vector<uint64_t> pinned_;  ///< Chunks shielded from eviction.
+  mutable Stats stats_;
+};
+
+}  // namespace csxa::crypto
+
+#endif  // CSXA_CRYPTO_DIGEST_CACHE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/clock.h"
 #include "crypto/block_cipher.h"
 
 namespace csxa::crypto {
@@ -10,6 +11,25 @@ namespace csxa::crypto {
 namespace {
 
 bool IsPowerOfTwo(uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Rebuilds one chunk's Merkle tree over ciphertext (the terminal-side
+/// hashing of Figure F1; a real terminal would cache these trees).
+MerkleTree BuildChunkTree(const std::vector<uint8_t>& ciphertext,
+                          uint64_t chunk_begin, uint64_t chunk_end,
+                          uint32_t frags, uint32_t fragment_size) {
+  std::vector<Sha1Digest> leaves;
+  leaves.reserve(frags);
+  for (uint32_t f = 0; f < frags; ++f) {
+    uint64_t fb = chunk_begin + uint64_t{f} * fragment_size;
+    if (fb >= chunk_end) {
+      leaves.push_back(MerkleTree::EmptyLeaf());
+      continue;
+    }
+    uint64_t fe = std::min<uint64_t>(fb + fragment_size, chunk_end);
+    leaves.push_back(Sha1::Hash(ciphertext.data() + fb, fe - fb));
+  }
+  return MerkleTree::Build(std::move(leaves));
+}
 
 Sha1Digest BindChunkIndex(uint64_t chunk_index, const Sha1Digest& root) {
   // ChunkDigest = SHA1(chunk_index || merkle_root): the chunk identifier
@@ -61,8 +81,8 @@ std::vector<uint8_t> SoeDecryptor::SealDigest(const PositionCipher& cipher,
                                               uint64_t total_blocks,
                                               uint32_t version) {
   Sha1Digest bound = BindChunkIndex(chunk_index, root);
-  std::vector<uint8_t> padded(bound.begin(), bound.end());
-  padded.resize(24, 0);
+  std::vector<uint8_t> padded(24, 0);
+  std::copy(bound.begin(), bound.end(), padded.begin());
   // The document version fills the padding: replaying a chunk (and its
   // self-consistent digest) from a stale store state decrypts to the old
   // version number and is rejected.
@@ -96,20 +116,8 @@ Result<SecureDocumentStore> SecureDocumentStore::Build(
     uint64_t chunk_begin = c * layout.chunk_size;
     uint64_t chunk_end = std::min<uint64_t>(chunk_begin + layout.chunk_size,
                                             size);
-    std::vector<Sha1Digest> leaves;
-    leaves.reserve(frags);
-    for (uint32_t f = 0; f < frags; ++f) {
-      uint64_t frag_begin = chunk_begin + uint64_t{f} * layout.fragment_size;
-      if (frag_begin >= chunk_end) {
-        leaves.push_back(MerkleTree::EmptyLeaf());
-        continue;
-      }
-      uint64_t frag_end =
-          std::min<uint64_t>(frag_begin + layout.fragment_size, chunk_end);
-      leaves.push_back(Sha1::Hash(store.ciphertext_.data() + frag_begin,
-                                  frag_end - frag_begin));
-    }
-    MerkleTree tree = MerkleTree::Build(std::move(leaves));
+    MerkleTree tree = BuildChunkTree(store.ciphertext_, chunk_begin,
+                                     chunk_end, frags, layout.fragment_size);
     store.digests_.push_back(SoeDecryptor::SealDigest(cipher, c, tree.root(),
                                                       total_blocks, version));
   }
@@ -158,24 +166,86 @@ Result<RangeResponse> SecureDocumentStore::ReadRange(uint64_t pos,
       mat.prefix_state = hasher.SaveState();
       mat.has_prefix_state = true;
     }
-    // Rebuild the chunk's Merkle tree to extract sibling hashes. (A real
-    // terminal would cache these; correctness is what matters here and the
-    // cost model charges only the wire bytes.)
-    std::vector<Sha1Digest> leaves;
-    leaves.reserve(frags);
-    for (uint32_t f = 0; f < frags; ++f) {
-      uint64_t fb = chunk_begin + uint64_t{f} * layout_.fragment_size;
-      if (fb >= chunk_end) {
-        leaves.push_back(MerkleTree::EmptyLeaf());
-        continue;
-      }
-      uint64_t fe = std::min<uint64_t>(fb + layout_.fragment_size, chunk_end);
-      leaves.push_back(Sha1::Hash(ciphertext_.data() + fb, fe - fb));
-    }
-    MerkleTree tree = MerkleTree::Build(std::move(leaves));
+    MerkleTree tree = BuildChunkTree(ciphertext_, chunk_begin, chunk_end,
+                                     frags, layout_.fragment_size);
     mat.proof = tree.ProofForRange(mat.first_fragment, mat.last_fragment);
     mat.encrypted_digest = digests_[c];
     resp.chunks.push_back(std::move(mat));
+  }
+  return resp;
+}
+
+uint64_t BatchResponse::WireBytes() const {
+  uint64_t bytes = 0;
+  for (const Segment& seg : segments) bytes += seg.ciphertext.size();
+  for (const RangeResponse::ChunkMaterial& chunk : chunks) {
+    bytes += chunk.proof.size() * sizeof(Sha1Digest);
+    bytes += chunk.encrypted_digest.size();
+  }
+  return bytes;
+}
+
+Result<BatchResponse> SecureDocumentStore::ReadBatch(
+    const BatchRequest& request) const {
+  const uint64_t size = ciphertext_.size();
+  const uint32_t frags = layout_.fragments_per_chunk();
+  auto is_bare = [&request](uint64_t c) {
+    return std::find(request.bare_chunks.begin(), request.bare_chunks.end(),
+                     c) != request.bare_chunks.end();
+  };
+  BatchResponse resp;
+  uint64_t prev_end = 0;
+  for (const BatchRequest::Run& run : request.runs) {
+    if (run.begin >= run.end || run.end > size ||
+        run.begin % layout_.fragment_size != 0 ||
+        (run.end % layout_.fragment_size != 0 && run.end != size) ||
+        (run.begin < prev_end && !resp.segments.empty())) {
+      return Status::InvalidArgument("malformed batch run");
+    }
+    prev_end = run.end;
+
+    BatchResponse::Segment seg;
+    seg.begin = run.begin;
+    seg.ciphertext.assign(ciphertext_.begin() + run.begin,
+                          ciphertext_.begin() + run.end);
+    resp.segments.push_back(std::move(seg));
+
+    uint64_t first_chunk = run.begin / layout_.chunk_size;
+    uint64_t last_chunk = (run.end - 1) / layout_.chunk_size;
+    for (uint64_t c = first_chunk; c <= last_chunk; ++c) {
+      if (is_bare(c)) continue;
+      uint64_t chunk_begin = c * layout_.chunk_size;
+      uint64_t chunk_end = std::min(chunk_begin + layout_.chunk_size, size);
+      uint64_t cover_begin = std::max(chunk_begin, run.begin);
+      uint64_t cover_end = std::min(chunk_end, run.end);
+
+      RangeResponse::ChunkMaterial mat;
+      mat.chunk_index = c;
+      mat.first_fragment = static_cast<uint32_t>(
+          (cover_begin - chunk_begin) / layout_.fragment_size);
+      mat.last_fragment = static_cast<uint32_t>(
+          (cover_end - 1 - chunk_begin) / layout_.fragment_size);
+      MerkleTree tree = BuildChunkTree(ciphertext_, chunk_begin, chunk_end,
+                                       frags, layout_.fragment_size);
+      mat.proof = tree.ProofForRange(mat.first_fragment, mat.last_fragment);
+      mat.encrypted_digest = digests_[c];
+      // Proof trimming: drop every hash the SOE declared it holds, and
+      // the digest once its root is authenticated — re-reads of a hot
+      // chunk ship each tree node at most once per serve.
+      for (const BatchRequest::ChunkHint& hint : request.hints) {
+        if (hint.chunk != c) continue;
+        if (hint.known_nodes != 0) {
+          std::erase_if(mat.proof, [&](const ProofNode& node) {
+            uint64_t flat = VerifiedDigestCache::FlatIndex(
+                frags, node.level, node.index);
+            return flat < 64 && (hint.known_nodes >> flat) & 1;
+          });
+        }
+        if (hint.root_known) mat.encrypted_digest.clear();
+        break;
+      }
+      resp.chunks.push_back(std::move(mat));
+    }
   }
   return resp;
 }
@@ -216,17 +286,116 @@ void SecureDocumentStore::ReplayChunkFrom(const SecureDocumentStore& old,
 
 SoeDecryptor::SoeDecryptor(const TripleDes::Key& key, ChunkLayout layout,
                            uint64_t plaintext_size, uint64_t chunk_count,
-                           uint32_t expected_version)
+                           uint32_t expected_version,
+                           size_t digest_cache_capacity)
     : cipher_(key),
       layout_(layout),
       plaintext_size_(plaintext_size),
       chunk_count_(chunk_count),
-      expected_version_(expected_version) {}
+      expected_version_(expected_version),
+      cache_(layout.fragments_per_chunk(), digest_cache_capacity) {}
+
+Status SoeDecryptor::VerifyChunkAgainstMaterial(
+    const RangeResponse::ChunkMaterial& mat, uint64_t chunk,
+    const std::vector<Sha1Digest>& leaves,
+    std::vector<std::pair<uint64_t, Sha1Digest>>* digest_memo) {
+  const uint64_t padded_size = (plaintext_size_ + 7) / 8 * 8;
+  const uint64_t total_blocks = padded_size / 8;
+  // Reconstitute a trimmed proof: every sibling the range needs that the
+  // terminal did not ship must already sit, authenticated, in the cache.
+  // (Shipped hashes are vouched for by the root comparison below; cached
+  // ones were vouched for when they were recorded.)
+  std::vector<ProofNode> proof = mat.proof;
+  {
+    const uint32_t frags = layout_.fragments_per_chunk();
+    uint64_t lo = mat.first_fragment, hi = mat.last_fragment;
+    for (int level = 0; (frags >> level) > 1; ++level, lo /= 2, hi /= 2) {
+      const uint64_t width = frags >> level;
+      auto supply = [&](uint64_t idx) {
+        for (const ProofNode& node : proof) {
+          if (node.level == level && node.index == idx) return;
+        }
+        const Sha1Digest* cached = cache_.Node(chunk, level, idx);
+        if (cached != nullptr) proof.push_back({level, idx, *cached});
+      };
+      if (lo % 2 == 1) supply(lo - 1);
+      if (hi % 2 == 0 && hi + 1 < width) supply(hi + 1);
+    }
+  }
+  Result<Sha1Digest> root = MerkleTree::RootFromRange(
+      layout_.fragments_per_chunk(), mat.first_fragment, mat.last_fragment,
+      leaves, proof);
+  if (!root.ok()) {
+    return Status::IntegrityError("merkle proof invalid: " +
+                                  root.status().message());
+  }
+  counters_.hash_combines += proof.size() + leaves.size();
+  if (mat.encrypted_digest.empty()) {
+    // Digest waived (root_known hint): the recomputed root must match the
+    // root authenticated earlier, or the terminal tampered with the bytes.
+    const Sha1Digest* cached_root = cache_.Root(chunk);
+    if (cached_root == nullptr || *cached_root != root.value()) {
+      return Status::IntegrityError(
+          "chunk digest mismatch (tampered data?)");
+    }
+    cache_.Record(chunk, root.value(), mat.first_fragment, leaves, proof);
+    return Status::OK();
+  }
+  if (mat.encrypted_digest.size() != 24) {
+    return Status::IntegrityError("chunk digest has wrong size");
+  }
+  // The recomputed root needs authenticating exactly once per chunk per
+  // batch: against the cache (already authenticated under this version),
+  // against the batch memo, or — first touch — by decrypting the shipped
+  // ChunkDigest and checking the bound index and version.
+  const Sha1Digest* known_root = cache_.Root(chunk);
+  if (known_root == nullptr) cache_.RecordMiss();
+  if (known_root == nullptr && digest_memo != nullptr) {
+    for (const auto& [memo_chunk, memo_root] : *digest_memo) {
+      if (memo_chunk == chunk) {
+        known_root = &memo_root;
+        break;
+      }
+    }
+  }
+  if (known_root != nullptr) {
+    if (*known_root != root.value()) {
+      return Status::IntegrityError("chunk digest mismatch (tampered data?)");
+    }
+  } else {
+    // Decrypt the shipped digest (rather than comparing ciphertexts) so a
+    // version mismatch — a replayed stale chunk whose hash checks out
+    // against its own stale digest — is distinguishable from tampering.
+    const uint64_t t0 = NowNs();
+    std::vector<uint8_t> digest_plain =
+        cipher_.Decrypt(mat.encrypted_digest, total_blocks + chunk * 3);
+    counters_.decrypt_ns += NowNs() - t0;
+    counters_.digest_bytes_decrypted += digest_plain.size();
+    uint32_t digest_version = 0;
+    for (int i = 0; i < 4; ++i) {
+      digest_version = (digest_version << 8) | digest_plain[20 + i];
+    }
+    Sha1Digest bound = BindChunkIndex(chunk, root.value());
+    if (!std::equal(bound.begin(), bound.end(), digest_plain.begin())) {
+      return Status::IntegrityError("chunk digest mismatch (tampered data?)");
+    }
+    if (digest_version != expected_version_) {
+      return Status::IntegrityError(
+          "stale chunk digest: version " + std::to_string(digest_version) +
+          ", expected " + std::to_string(expected_version_) +
+          " (replayed document state?)");
+    }
+    if (digest_memo != nullptr) digest_memo->emplace_back(chunk, root.value());
+  }
+  // Everything that entered the (successful) root recomputation is now as
+  // authentic as the digest: remember it for bare re-reads.
+  cache_.Record(chunk, root.value(), mat.first_fragment, leaves, mat.proof);
+  return Status::OK();
+}
 
 Result<std::vector<uint8_t>> SoeDecryptor::DecryptVerified(
     const RangeResponse& resp, uint64_t pos, uint64_t n) {
   const uint64_t padded_size = (plaintext_size_ + 7) / 8 * 8;
-  const uint64_t total_blocks = padded_size / 8;
   if (pos < resp.data_begin ||
       pos + n > resp.data_begin + resp.ciphertext.size()) {
     return Status::IntegrityError("response does not cover requested range");
@@ -272,6 +441,7 @@ Result<std::vector<uint8_t>> SoeDecryptor::DecryptVerified(
     }
     // Recompute the leaf hashes of the fragments we received.
     std::vector<Sha1Digest> range_leaves;
+    const uint64_t h0 = NowNs();
     for (uint32_t f = mat.first_fragment; f <= mat.last_fragment; ++f) {
       uint64_t fb = chunk_begin + uint64_t{f} * layout_.fragment_size;
       uint64_t fe = std::min<uint64_t>(fb + layout_.fragment_size, chunk_end);
@@ -293,37 +463,11 @@ Result<std::vector<uint8_t>> SoeDecryptor::DecryptVerified(
       counters_.bytes_hashed += fe - hash_from;
       range_leaves.push_back(hasher.Finish());
     }
-    Result<Sha1Digest> root = MerkleTree::RootFromRange(
-        layout_.fragments_per_chunk(), mat.first_fragment, mat.last_fragment,
-        range_leaves, mat.proof);
-    if (!root.ok()) {
-      return Status::IntegrityError("merkle proof invalid: " +
-                                    root.status().message());
-    }
-    counters_.hash_combines += mat.proof.size() + range_leaves.size();
-    if (mat.encrypted_digest.size() != 24) {
-      return Status::IntegrityError("chunk digest has wrong size");
-    }
-    // Decrypt the shipped digest (rather than comparing ciphertexts) so a
-    // version mismatch — a replayed stale chunk whose hash checks out
-    // against its own stale digest — is distinguishable from tampering.
-    std::vector<uint8_t> digest_plain =
-        cipher_.Decrypt(mat.encrypted_digest, total_blocks + c * 3);
-    counters_.digest_bytes_decrypted += digest_plain.size();
-    uint32_t digest_version = 0;
-    for (int i = 0; i < 4; ++i) {
-      digest_version = (digest_version << 8) | digest_plain[20 + i];
-    }
-    Sha1Digest bound = BindChunkIndex(c, root.value());
-    if (!std::equal(bound.begin(), bound.end(), digest_plain.begin())) {
-      return Status::IntegrityError("chunk digest mismatch (tampered data?)");
-    }
-    if (digest_version != expected_version_) {
-      return Status::IntegrityError(
-          "stale chunk digest: version " + std::to_string(digest_version) +
-          ", expected " + std::to_string(expected_version_) +
-          " (replayed document state?)");
-    }
+    counters_.hash_ns += NowNs() - h0;
+    // A prefix-state leaf hash is the true fragment hash (the state covers
+    // the untransferred prefix), so the recorded material stays sound.
+    CSXA_RETURN_NOT_OK(
+        VerifyChunkAgainstMaterial(mat, c, range_leaves, nullptr));
   }
 
   // All integrity material checked: decrypt exactly the requested bytes.
@@ -331,6 +475,7 @@ Result<std::vector<uint8_t>> SoeDecryptor::DecryptVerified(
   uint64_t block_end = (pos + n + 7) / 8;
   std::vector<uint8_t> plain;
   plain.reserve((block_end - block_begin) * 8);
+  const uint64_t d0 = NowNs();
   for (uint64_t b = block_begin; b < block_end; ++b) {
     uint64_t off = b * 8 - resp.data_begin;
     if (off + 8 > resp.ciphertext.size()) {
@@ -341,10 +486,149 @@ Result<std::vector<uint8_t>> SoeDecryptor::DecryptVerified(
     Block64 p = cipher_.DecryptBlock(c, b);
     plain.insert(plain.end(), p.begin(), p.end());
   }
+  counters_.decrypt_ns += NowNs() - d0;
   counters_.bytes_decrypted += (block_end - block_begin) * 8;
   std::vector<uint8_t> out(plain.begin() + (pos - block_begin * 8),
                            plain.begin() + (pos - block_begin * 8) + n);
   return out;
+}
+
+Status SoeDecryptor::DecryptVerifiedBatch(const BatchRequest& request,
+                                          const BatchResponse& response,
+                                          uint8_t* out, size_t out_size) {
+  const uint64_t padded_size = (plaintext_size_ + 7) / 8 * 8;
+  if (out_size < plaintext_size_) {
+    return Status::InvalidArgument("output buffer smaller than document");
+  }
+  if (response.segments.size() != request.runs.size()) {
+    return Status::IntegrityError("batch response run count mismatch");
+  }
+  auto is_bare = [&request](uint64_t c) {
+    return std::find(request.bare_chunks.begin(), request.bare_chunks.end(),
+                     c) != request.bare_chunks.end();
+  };
+  // Pin every chunk this batch's waivers and trimming hints rely on:
+  // mid-batch Record() calls for other chunks must not evict the cached
+  // material the request was built against (an honest response would
+  // otherwise fail verification under a small cache).
+  std::vector<uint64_t> claimed = request.bare_chunks;
+  for (const BatchRequest::ChunkHint& hint : request.hints) {
+    claimed.push_back(hint.chunk);
+  }
+  VerifiedDigestCache::PinScope pin(&cache_, std::move(claimed));
+
+  // Phase 1 — verify every segment's chunks before releasing any byte.
+  std::vector<std::pair<uint64_t, Sha1Digest>> digest_memo;
+  size_t mat_index = 0;
+  for (size_t s = 0; s < response.segments.size(); ++s) {
+    const BatchResponse::Segment& seg = response.segments[s];
+    const BatchRequest::Run& run = request.runs[s];
+    if (seg.begin != run.begin ||
+        seg.begin + seg.ciphertext.size() != run.end ||
+        run.end > padded_size || run.begin >= run.end ||
+        run.begin % layout_.fragment_size != 0 ||
+        (run.end % layout_.fragment_size != 0 && run.end != padded_size)) {
+      return Status::IntegrityError("batch segment does not match request");
+    }
+    const uint64_t seg_end = run.end;
+    uint64_t first_chunk = run.begin / layout_.chunk_size;
+    uint64_t last_chunk = (seg_end - 1) / layout_.chunk_size;
+    for (uint64_t c = first_chunk; c <= last_chunk; ++c) {
+      if (c >= chunk_count_) {
+        return Status::IntegrityError("chunk index out of bounds");
+      }
+      uint64_t chunk_begin = c * layout_.chunk_size;
+      uint64_t chunk_end = std::min(chunk_begin + layout_.chunk_size,
+                                    padded_size);
+      uint64_t cover_begin = std::max(chunk_begin, run.begin);
+      uint64_t cover_end = std::min(chunk_end, seg_end);
+      const uint32_t first = static_cast<uint32_t>(
+          (cover_begin - chunk_begin) / layout_.fragment_size);
+      const uint32_t last = static_cast<uint32_t>(
+          (cover_end - 1 - chunk_begin) / layout_.fragment_size);
+
+      // Leaf hashes of the shipped fragments: fragment alignment means
+      // every hash starts fresh at a fragment boundary — no intermediate
+      // states cross the wire in the batched protocol.
+      std::vector<Sha1Digest> leaves;
+      leaves.reserve(last - first + 1);
+      const uint64_t h0 = NowNs();
+      for (uint32_t f = first; f <= last; ++f) {
+        uint64_t fb = chunk_begin + uint64_t{f} * layout_.fragment_size;
+        uint64_t fe =
+            std::min<uint64_t>(fb + layout_.fragment_size, chunk_end);
+        leaves.push_back(
+            Sha1::Hash(seg.ciphertext.data() + (fb - run.begin), fe - fb));
+        counters_.bytes_hashed += fe - fb;
+      }
+      counters_.hash_ns += NowNs() - h0;
+
+      if (is_bare(c)) {
+        // Cache-hit path: no material crossed the wire. Recombine the
+        // fresh leaves with the cached (authenticated) sibling hashes and
+        // compare against the cached root — a tampered re-read diverges
+        // right here.
+        const Sha1Digest* known_root = cache_.Root(c);
+        if (known_root == nullptr) {
+          return Status::IntegrityError(
+              "bare chunk not present in digest cache");
+        }
+        std::vector<ProofNode> proof = cache_.ProofFor(c, first, last);
+        Result<Sha1Digest> root = MerkleTree::RootFromRange(
+            layout_.fragments_per_chunk(), first, last, leaves, proof);
+        if (!root.ok() || root.value() != *known_root) {
+          return Status::IntegrityError(
+              "re-read failed verification against cached digest "
+              "(tampered data?)");
+        }
+        counters_.hash_combines += proof.size() + leaves.size();
+        cache_.RecordBareHit();
+        cache_.Record(c, *known_root, first, leaves, proof);
+      } else {
+        if (mat_index >= response.chunks.size()) {
+          return Status::IntegrityError("missing integrity material for chunk");
+        }
+        const RangeResponse::ChunkMaterial& mat = response.chunks[mat_index];
+        ++mat_index;
+        if (mat.chunk_index != c || mat.first_fragment != first ||
+            mat.last_fragment != last ||
+            mat.last_fragment >= layout_.fragments_per_chunk() ||
+            mat.has_prefix_state) {
+          // The hashed fragments must cover exactly the transferred bytes
+          // of this chunk: anything narrower would have bytes decrypted
+          // unverified, anything else is a misaligned proof.
+          return Status::IntegrityError(
+              "integrity material does not cover the transferred range");
+        }
+        CSXA_RETURN_NOT_OK(
+            VerifyChunkAgainstMaterial(mat, c, leaves, &digest_memo));
+      }
+    }
+  }
+  if (mat_index != response.chunks.size()) {
+    return Status::IntegrityError("unexpected extra integrity material");
+  }
+
+  // Phase 2 — decrypt each verified segment in place.
+  const uint64_t d0 = NowNs();
+  for (const BatchResponse::Segment& seg : response.segments) {
+    const uint64_t seg_end = seg.begin + seg.ciphertext.size();
+    for (uint64_t b = seg.begin / 8; b < (seg_end + 7) / 8; ++b) {
+      Block64 cblock;
+      std::memcpy(cblock.data(), seg.ciphertext.data() + (b * 8 - seg.begin),
+                  8);
+      Block64 p = cipher_.DecryptBlock(cblock, b);
+      const uint64_t pos = b * 8;
+      const size_t take =
+          pos < plaintext_size_
+              ? static_cast<size_t>(std::min<uint64_t>(8, plaintext_size_ - pos))
+              : 0;
+      if (take > 0) std::memcpy(out + pos, p.data(), take);
+      counters_.bytes_decrypted += 8;
+    }
+  }
+  counters_.decrypt_ns += NowNs() - d0;
+  return Status::OK();
 }
 
 }  // namespace csxa::crypto

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "crypto/digest_cache.h"
 #include "crypto/merkle.h"
 #include "crypto/position_cipher.h"
 #include "crypto/sha1.h"
@@ -52,6 +53,67 @@ struct RangeResponse {
   uint64_t WireBytes() const;
 };
 
+/// One terminal round trip of the *batched* verified-fetch protocol: the
+/// SOE's fetch planner coalesces every range it needs soon into one
+/// request of fragment-aligned runs, and names the chunks whose digests it
+/// has already authenticated (`bare_chunks`) so the terminal ships their
+/// ciphertext without any integrity material at all.
+struct BatchRequest {
+  /// Byte range [begin, end) of ciphertext; begin must sit on a fragment
+  /// boundary, end on a fragment boundary or the document end. Sorted,
+  /// disjoint, non-adjacent (adjacent ranges belong coalesced).
+  struct Run {
+    uint64_t begin = 0;
+    uint64_t end = 0;
+  };
+  std::vector<Run> runs;
+  /// Chunks the SOE can verify from its digest cache: ship no sibling
+  /// hashes and no encrypted ChunkDigest for these. (A terminal ignoring
+  /// the hint only wastes wire; omitting material that was *not* waived
+  /// fails verification.)
+  std::vector<uint64_t> bare_chunks;
+
+  /// Proof trimming: per chunk, the Merkle nodes the SOE already holds
+  /// authenticated copies of (bit = VerifiedDigestCache::FlatIndex). The
+  /// terminal omits those sibling hashes from the chunk's proof, and omits
+  /// the encrypted ChunkDigest entirely when `root_known` — so across a
+  /// serve, every hash of a chunk's tree crosses the wire at most once.
+  /// Claiming a node one does not hold only makes verification fail
+  /// (missing sibling); it can never make tampered data pass.
+  struct ChunkHint {
+    uint64_t chunk = 0;
+    uint64_t known_nodes = 0;
+    bool root_known = false;
+  };
+  std::vector<ChunkHint> hints;
+};
+
+/// Response to a BatchRequest: one ciphertext segment per run, plus chunk
+/// integrity material — *once per chunk per batch*, shared by every
+/// fragment of the batch that falls into the chunk, and omitted entirely
+/// for bare chunks. Fragment alignment makes intermediate hash states
+/// unnecessary (each leaf hash restarts at a fragment boundary), so the
+/// per-request proof overhead of the unbatched protocol (sibling set +
+/// digest + prefix state, per range) collapses to at most one sibling set
+/// and one digest per chunk per batch — and to zero for cache-hit
+/// re-reads.
+struct BatchResponse {
+  struct Segment {
+    uint64_t begin = 0;  ///< Absolute byte offset of ciphertext[0].
+    std::vector<uint8_t> ciphertext;
+  };
+  std::vector<Segment> segments;  ///< Parallel to BatchRequest::runs.
+  /// Material for non-bare chunks, in ascending (segment, chunk) order.
+  /// When two runs of one batch land in the same chunk, the chunk appears
+  /// once per covered fragment range (rare; the planner merges same-chunk
+  /// runs unless an already-valid fragment sits between them), but its
+  /// digest is decrypted at most once per batch.
+  std::vector<RangeResponse::ChunkMaterial> chunks;
+
+  /// Bytes moved over the terminal->SOE channel.
+  uint64_t WireBytes() const;
+};
+
 /// Terminal-side store of an encrypted document: position-mixed 3DES-ECB
 /// ciphertext plus one encrypted Merkle ChunkDigest per chunk. The terminal
 /// needs no key; it only stores and serves. Tampering hooks let tests
@@ -79,6 +141,11 @@ class SecureDocumentStore {
   /// is over ciphertext (so no key is needed), matching Section 6's
   /// requirement that the terminal can cooperate in integrity checking.
   Result<RangeResponse> ReadRange(uint64_t pos, uint64_t n) const;
+
+  /// Serves a coalesced batch of fragment-aligned runs in one round trip
+  /// (see BatchRequest/BatchResponse). Integrity material is emitted per
+  /// chunk, not per run, and suppressed for the chunks the request waived.
+  Result<BatchResponse> ReadBatch(const BatchRequest& request) const;
 
   /// -- Attack emulation (tests) --------------------------------------
   /// Flips bits of one ciphertext byte (random modification attack).
@@ -109,14 +176,45 @@ class SoeDecryptor {
   /// `expected_version` is the document version the SOE believes current
   /// (delivered out of band with the key); a digest sealed for any other
   /// version is rejected as a replayed stale state.
+  /// `digest_cache_capacity` bounds the verified-digest cache (entries,
+  /// i.e. chunks); 0 disables bare re-reads entirely.
   SoeDecryptor(const TripleDes::Key& key, ChunkLayout layout,
                uint64_t plaintext_size, uint64_t chunk_count,
-               uint32_t expected_version = 0);
+               uint32_t expected_version = 0,
+               size_t digest_cache_capacity = kDefaultDigestCacheCapacity);
+
+  static constexpr size_t kDefaultDigestCacheCapacity = 32;
 
   /// Verifies integrity of `resp` and decrypts exactly the bytes
   /// [pos, pos+n) of the document. Returns IntegrityError on any mismatch.
   Result<std::vector<uint8_t>> DecryptVerified(const RangeResponse& resp,
                                                uint64_t pos, uint64_t n);
+
+  /// True when the digest cache holds enough authenticated material to
+  /// verify fragments [first, last] of `chunk` without any shipped
+  /// integrity material — the fetcher uses this to waive chunks in a
+  /// BatchRequest.
+  bool CanVerifyBare(uint64_t chunk, uint32_t first, uint32_t last) const {
+    return cache_.CanVerifyBare(chunk, first, last);
+  }
+
+  /// Proof-trimming hint for `chunk` (see BatchRequest::ChunkHint): which
+  /// tree nodes the cache already holds, and whether the root itself is
+  /// authenticated (digest transfer and decryption can be waived).
+  BatchRequest::ChunkHint CacheHintFor(uint64_t chunk) const {
+    return {chunk, cache_.KnownMask(chunk), cache_.Root(chunk) != nullptr};
+  }
+
+  /// Verifies and decrypts a whole batch: each segment's chunks are
+  /// checked against shipped material (then recorded in the digest cache)
+  /// or — for waived chunks — against the cache's authenticated hashes.
+  /// Plaintext is written in place into `out` (the document buffer of
+  /// `out_size` >= plaintext_size bytes) at each segment's offset. Any
+  /// mismatch fails the whole batch with IntegrityError before a single
+  /// unverified byte is released.
+  Status DecryptVerifiedBatch(const BatchRequest& request,
+                              const BatchResponse& response, uint8_t* out,
+                              size_t out_size);
 
   /// Cumulative work counters (fed to the cost model).
   struct Counters {
@@ -124,8 +222,13 @@ class SoeDecryptor {
     uint64_t digest_bytes_decrypted = 0;
     uint64_t bytes_hashed = 0;      ///< Ciphertext bytes hashed in the SOE.
     uint64_t hash_combines = 0;     ///< Merkle interior-node hashes.
+    uint64_t decrypt_ns = 0;        ///< Wall clock inside 3DES decryption.
+    uint64_t hash_ns = 0;           ///< Wall clock inside SHA-1 hashing.
   };
   const Counters& counters() const { return counters_; }
+  const VerifiedDigestCache::Stats& cache_stats() const {
+    return cache_.stats();
+  }
 
   /// Computes what a chunk's encrypted digest must be; exposed so that
   /// Build and tests share one definition. The 24-byte plaintext is the
@@ -138,11 +241,21 @@ class SoeDecryptor {
                                          uint32_t version);
 
  private:
+  /// Shared chunk-verification core: recomputes the root from `leaves`
+  /// (fragments [first, last]) plus `proof`, authenticates it against the
+  /// encrypted digest (decrypting it at most once per batch via
+  /// `digest_memo`), and records the authenticated material in the cache.
+  Status VerifyChunkAgainstMaterial(
+      const RangeResponse::ChunkMaterial& mat, uint64_t chunk,
+      const std::vector<Sha1Digest>& leaves,
+      std::vector<std::pair<uint64_t, Sha1Digest>>* digest_memo);
+
   PositionCipher cipher_;
   ChunkLayout layout_;
   uint64_t plaintext_size_;
   uint64_t chunk_count_;
   uint32_t expected_version_;
+  VerifiedDigestCache cache_;
   Counters counters_;
 };
 

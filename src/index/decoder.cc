@@ -25,8 +25,19 @@ Status DocumentNavigator::Init(const uint8_t* data, size_t size,
   // Materialize enough prefix to parse the header, growing on demand. Start
   // small: over-ensuring here defeats the lazy fetch path (skipped subtrees
   // must never be transferred), and headers are dominated by the tag
-  // dictionary, which stays tiny.
-  size_t ensured = std::min<size_t>(size, 256);
+  // dictionary, which stays tiny. The prefetch is rounded up to the
+  // fetcher's transfer granularity (fragment size): an unaligned prefetch
+  // would end mid-fragment, and the follow-up read of the straddled
+  // fragment would re-plan bytes the fetcher already holds.
+  const size_t align =
+      fetcher_ != nullptr
+          ? static_cast<size_t>(std::max<uint64_t>(
+                1, fetcher_->preferred_alignment()))
+          : 1;
+  auto round_up = [align, size](size_t n) {
+    return std::min(size, (n + align - 1) / align * align);
+  };
+  size_t ensured = round_up(std::min<size_t>(size, 256));
   while (true) {
     if (fetcher_ != nullptr) CSXA_RETURN_NOT_OK(fetcher_->Ensure(0, ensured));
     auto info = ParseHeaderInfo(data, ensured);
@@ -38,7 +49,7 @@ Status DocumentNavigator::Init(const uint8_t* data, size_t size,
       break;
     }
     if (ensured == size) return info.status();
-    ensured = std::min(size, ensured * 2);
+    ensured = round_up(ensured * 2);
   }
   size_bits_ = (size - stream_offset_) * 8;
   Touch(0, stream_offset_);
@@ -150,6 +161,7 @@ Result<DocumentNavigator::Item> DocumentNavigator::NextPacked() {
     frames_.push_back(std::move(frame));
     depth_ = 1;
     item.subtree_bits = root_size_bits_;
+    item.subtree_begin_bit = pos_;
     item.kind = ItemKind::kOpen;
     item.depth = 1;
     item.tag_id = static_cast<xml::TagId>(tag.value());
@@ -236,6 +248,7 @@ Result<DocumentNavigator::Item> DocumentNavigator::NextPacked() {
   frames_.push_back(std::move(frame));
   ++depth_;
   item.subtree_bits = size.value();
+  item.subtree_begin_bit = pos_;
   item.kind = ItemKind::kOpen;
   item.depth = depth_;
   item.tag_id = tag_id;

@@ -22,6 +22,26 @@ class Fetcher {
   /// Ensures bytes [begin, end) of the encoded document are valid in the
   /// buffer the navigator reads from. Returns IntegrityError on tampering.
   virtual Status Ensure(uint64_t begin, uint64_t end) = 0;
+
+  /// Look-ahead hints from the consumer's skip oracle — pure prefetch
+  /// policy (they steer what a batching fetcher pulls per round trip,
+  /// never what Ensure() guarantees). Default: ignored.
+  /// [begin, end) will be streamed soon.
+  virtual void HintWanted(uint64_t begin, uint64_t end) {
+    (void)begin;
+    (void)end;
+  }
+  /// [begin, end) was skipped — cancel it out of planned read-ahead.
+  virtual void HintExcluded(uint64_t begin, uint64_t end) {
+    (void)begin;
+    (void)end;
+  }
+  /// The consumer will stream the entire document.
+  virtual void HintStreamAll() {}
+  /// Granularity the fetcher transfers at (fragment size); consumers
+  /// round prefetches to it so a batched read never straddles a unit the
+  /// fetcher already holds.
+  virtual uint64_t preferred_alignment() const { return 1; }
 };
 
 /// Byte interval [begin, end) of the encoded document that was actually
@@ -56,6 +76,11 @@ class DocumentNavigator {
     /// SkipSubtree() would jump over without fetching. 0 for TC streams
     /// (no size fields).
     uint64_t subtree_bits = 0;
+    /// kOpen only: stream-relative bit offset where the children region
+    /// starts (the position right after the element's header). With
+    /// subtree_bits and stream_offset() this locates the subtree's bytes,
+    /// so the pipeline can hint the fetch planner. 0 for TC streams.
+    uint64_t subtree_begin_bit = 0;
   };
 
   /// Opens over a fully materialized document. `doc` must outlive the
@@ -116,6 +141,11 @@ class DocumentNavigator {
 
   const xml::TagDictionary& dictionary() const { return dict_; }
   Variant variant() const { return variant_; }
+  /// Byte offset of the encoded event stream within the document image
+  /// (everything before it is the header + tag dictionary). Converts
+  /// stream-relative bit positions (Item::subtree_begin_bit, checkpoints)
+  /// into document byte offsets for the fetch planner.
+  size_t stream_offset() const { return stream_offset_; }
 
  private:
   DocumentNavigator() = default;

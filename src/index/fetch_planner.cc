@@ -1,0 +1,216 @@
+#include "index/fetch_planner.h"
+
+#include <algorithm>
+
+namespace csxa::index {
+
+FetchPlanner::FetchPlanner(uint64_t document_bytes, uint32_t fragment_size,
+                           uint32_t chunk_size, const PlannerOptions& options)
+    : document_bytes_(document_bytes),
+      fragment_size_(fragment_size),
+      chunk_size_(chunk_size),
+      fragment_count_((document_bytes + fragment_size - 1) / fragment_size),
+      gap_threshold_(options.gap_threshold_bytes == UINT64_MAX
+                         ? fragment_size
+                         : options.gap_threshold_bytes),
+      max_batch_(options.max_batch_bytes == 0 ? uint64_t{4} * chunk_size
+                                              : options.max_batch_bytes),
+      marks_(fragment_count_, Mark::kUnknown) {}
+
+void FetchPlanner::HintWanted(uint64_t begin, uint64_t end) {
+  end = std::min(end, document_bytes_);
+  if (begin >= end) return;
+  ++stats_.hints_wanted;
+  // Outward rounding: a partially wanted fragment is fetched whole anyway.
+  uint64_t first = begin / fragment_size_;
+  uint64_t last = (end - 1) / fragment_size_;
+  for (uint64_t f = first; f <= last; ++f) marks_[f] = Mark::kWanted;
+}
+
+void FetchPlanner::HintExcluded(uint64_t begin, uint64_t end) {
+  end = std::min(end, document_bytes_);
+  if (begin >= end) return;
+  ++stats_.hints_excluded;
+  // Skip evidence: stop speculating — a skip-dense region must page
+  // conservatively or the readahead re-fetches what skipping just saved.
+  readahead_bytes_ = 0;
+  // Inward rounding: boundary fragments carry live neighbouring bytes
+  // (the element's own header before the subtree, its close marker after).
+  uint64_t first = (begin + fragment_size_ - 1) / fragment_size_;
+  uint64_t last_end = end / fragment_size_;  // exclusive
+  for (uint64_t f = first; f < last_end; ++f) marks_[f] = Mark::kExcluded;
+}
+
+void FetchPlanner::HintStreamAll() {
+  ++stats_.hints_wanted;
+  std::fill(marks_.begin(), marks_.end(), Mark::kWanted);
+}
+
+namespace {
+
+/// Exact sibling-hash count of a contiguous-range Merkle proof (mirrors
+/// MerkleTree::ProofForRange).
+uint64_t ProofNodeCount(uint64_t leaf_count, uint64_t first, uint64_t last) {
+  uint64_t n = 0, lo = first, hi = last;
+  for (uint64_t width = leaf_count; width > 1; width /= 2, lo /= 2, hi /= 2) {
+    if (lo % 2 == 1) ++n;
+    if (hi % 2 == 0 && hi + 1 < width) ++n;
+  }
+  return n;
+}
+
+constexpr uint64_t kHashBytes = 20;  // SHA-1 proof node on the wire.
+
+}  // namespace
+
+std::vector<FragmentRun> FetchPlanner::Plan(uint64_t begin, uint64_t end,
+                                            const std::vector<bool>& valid,
+                                            const BareProbe& bare_probe) {
+  std::vector<FragmentRun> runs;
+  end = std::min(end, document_bytes_);
+  if (begin >= end) return runs;
+  const uint64_t d0 = begin / fragment_size_;
+  const uint64_t d1 = (end - 1) / fragment_size_;  // inclusive
+
+  uint64_t first_missing = d0;
+  while (first_missing <= d1 && valid[first_missing]) ++first_missing;
+  if (first_missing > d1) return runs;  // Demand already held.
+
+  // Adaptive window: a demand that continues exactly where the last batch
+  // ended is sequential streaming — speculate twice as far as last time
+  // (seeded by the demand's own span, so wide demands jump straight to
+  // wide batches). A demand landing anywhere else just skipped or seeked:
+  // restart cautious.
+  if (first_missing == frontier_) {
+    const uint64_t demand_bytes = (d1 - d0 + 1) * fragment_size_;
+    readahead_bytes_ = std::min<uint64_t>(
+        max_batch_,
+        std::max<uint64_t>(std::max<uint64_t>(readahead_bytes_ * 2,
+                                              demand_bytes),
+                           fragment_size_));
+  } else {
+    readahead_bytes_ = 0;
+  }
+  const uint64_t readahead_frags = readahead_bytes_ / fragment_size_;
+
+  // Hard horizon, anchored at the first fragment this batch must carry;
+  // never empty, so oversized demands still make progress.
+  const uint64_t horizon_frags =
+      std::max<uint64_t>(1, max_batch_ / fragment_size_);
+  const uint64_t window_end =
+      std::min(fragment_count_, first_missing + horizon_frags);
+  const uint64_t spec_end =
+      std::min(window_end, first_missing + readahead_frags);
+
+  // The working set spans whole chunks around the window so that chunk
+  // completion can round outward in both directions.
+  const uint64_t frags_per_chunk = chunk_size_ / fragment_size_;
+  const uint64_t base = first_missing / frags_per_chunk * frags_per_chunk;
+  const uint64_t extent =
+      std::min(fragment_count_,
+               (window_end + frags_per_chunk - 1) / frags_per_chunk *
+                   frags_per_chunk);
+  std::vector<uint8_t> include(extent - base, 0);
+  auto inc = [&](uint64_t f) { return include[f - base] != 0; };
+
+  // Pass 1 — mark what the batch needs: the demand, hinted-wanted
+  // fragments, and the speculative window (which never crosses an
+  // exclusion).
+  for (uint64_t f = first_missing; f < window_end; ++f) {
+    if (valid[f]) continue;  // Never re-fetch held fragments.
+    if (f <= d1 || marks_[f] == Mark::kWanted ||
+        (f < spec_end && marks_[f] != Mark::kExcluded)) {
+      include[f - base] = 1;
+    }
+  }
+
+  // Pass 2 — bridge sub-threshold gaps between included runs (no valid
+  // fragment may be re-fetched, so any held fragment splits).
+  if (gap_threshold_ > 0) {
+    uint64_t prev_inc = UINT64_MAX;
+    for (uint64_t f = base; f < extent; ++f) {
+      if (!inc(f)) continue;
+      if (prev_inc != UINT64_MAX && f > prev_inc + 1) {
+        const uint64_t gap = f - prev_inc - 1;
+        bool gap_fetchable = gap * fragment_size_ <= gap_threshold_;
+        for (uint64_t g = prev_inc + 1; gap_fetchable && g < f; ++g) {
+          if (valid[g]) gap_fetchable = false;
+        }
+        if (gap_fetchable) {
+          for (uint64_t g = prev_inc + 1; g < f; ++g) include[g - base] = 1;
+          stats_.gap_fragments_bridged += gap;
+        }
+      }
+      prev_inc = f;
+    }
+  }
+
+  // Pass 3 — proof-aware chunk completion: if a chunk's planned coverage
+  // is partial, the batch must carry a sibling-hash set for it (unless the
+  // digest cache already authenticates the covered ranges). When the
+  // chunk's missing-but-fetchable bytes cost less than those hashes,
+  // fetch them instead: full coverage ships an empty proof.
+  for (uint64_t cf = base; cf < extent; cf += frags_per_chunk) {
+    const uint64_t ce = std::min(extent, cf + frags_per_chunk);
+    uint64_t covered = 0, missing_bytes = 0, proof_nodes = 0;
+    bool has_valid = false, all_bare = true;
+    // Walk the chunk's covered ranges, summing per-range proofs.
+    uint64_t range_start = UINT64_MAX;
+    auto close_range = [&](uint64_t range_end_excl) {
+      if (range_start == UINT64_MAX) return;
+      proof_nodes += ProofNodeCount(frags_per_chunk,
+                                    range_start - cf,
+                                    range_end_excl - 1 - cf);
+      if (all_bare && bare_probe != nullptr) {
+        all_bare = bare_probe(cf / frags_per_chunk,
+                              static_cast<uint32_t>(range_start - cf),
+                              static_cast<uint32_t>(range_end_excl - 1 - cf));
+      } else if (bare_probe == nullptr) {
+        all_bare = false;
+      }
+      range_start = UINT64_MAX;
+    };
+    for (uint64_t f = cf; f < ce; ++f) {
+      if (valid[f]) has_valid = true;
+      if (inc(f)) {
+        ++covered;
+        if (range_start == UINT64_MAX) range_start = f;
+      } else {
+        close_range(f);
+        if (!valid[f]) {
+          missing_bytes += std::min<uint64_t>(
+              fragment_size_, document_bytes_ - f * fragment_size_);
+        }
+      }
+    }
+    close_range(ce);
+    if (covered == 0 || missing_bytes == 0 || has_valid || all_bare) {
+      continue;  // Untouched, already complete, unmergeable, or material-free.
+    }
+    // What completion actually saves is the proof *delta*: an interior
+    // chunk drops to an empty proof, but a truncated tail chunk keeps
+    // its EmptyLeaf-padding siblings even at full byte coverage.
+    const uint64_t proof_after =
+        ProofNodeCount(frags_per_chunk, 0, ce - cf - 1);
+    const uint64_t saved =
+        proof_nodes > proof_after ? proof_nodes - proof_after : 0;
+    if (missing_bytes <= saved * kHashBytes) {
+      for (uint64_t f = cf; f < ce; ++f) include[f - base] = 1;
+      stats_.chunks_completed += 1;
+    }
+  }
+
+  // Emit maximal included runs.
+  for (uint64_t f = base; f < extent; ++f) {
+    if (!inc(f)) continue;
+    if (!runs.empty() && runs.back().end_frag == f) {
+      runs.back().end_frag = f + 1;
+    } else {
+      runs.push_back({f, f + 1});
+    }
+  }
+  if (!runs.empty()) frontier_ = runs.back().end_frag;
+  return runs;
+}
+
+}  // namespace csxa::index

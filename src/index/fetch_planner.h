@@ -1,0 +1,152 @@
+#ifndef CSXA_INDEX_FETCH_PLANNER_H_
+#define CSXA_INDEX_FETCH_PLANNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace csxa::index {
+
+/// Knobs of the range-coalescing fetch planner.
+struct PlannerOptions {
+  /// Largest run of *unneeded* bytes the planner bridges (fetches anyway)
+  /// to keep two nearby needed ranges in one contiguous segment: one
+  /// segment means one chunk-proof set instead of two, and no extra round
+  /// trip. 0 never bridges. The sentinel UINT64_MAX resolves to one
+  /// fragment at construction — sub-fragment holes are free to bridge
+  /// (the hashing unit forces whole fragments anyway), anything larger is
+  /// skipped content whose transfer the Skip index exists to avoid.
+  uint64_t gap_threshold_bytes = UINT64_MAX;
+
+  /// Upper bound on ciphertext bytes per terminal round trip — the SOE's
+  /// response buffer. Look-ahead never plans past this horizon; oversized
+  /// demands are split into successive batches. The sentinel 0 resolves
+  /// to four chunks at construction.
+  uint64_t max_batch_bytes = 0;
+};
+
+/// One planned fragment run [begin_frag, end_frag), to be fetched as a
+/// single contiguous ciphertext segment.
+struct FragmentRun {
+  uint64_t begin_frag = 0;
+  uint64_t end_frag = 0;
+};
+
+/// Range-coalescing planner of the batched verified fetch: turns the
+/// navigator's byte-at-a-time demands into few, large, chunk-shaped
+/// terminal reads.
+///
+/// The planner keeps one classification per fragment, driven by look-ahead
+/// hints from the pipeline's skip oracle:
+///
+///  - *wanted*  — the oracle proved the bytes will be streamed (a fully
+///    authorized subtree, a granted deferral about to be re-read, or the
+///    whole document when the stream cannot skip). Wanted fragments are
+///    prefetched into the current batch up to the batch horizon.
+///  - *excluded* — a skip/defer decision cancelled the range: the bytes
+///    will not be needed (or not now). Excluded fragments are never
+///    planned ahead; they are fetched only if demanded outright (a defer
+///    later re-hinted as wanted) or bridged as a sub-threshold gap.
+///  - *unknown* — no evidence either way. Prefetched only by the adaptive
+///    sequential window below: blind speculation past the decode frontier
+///    would transfer bytes the very next skip decision prunes, which is
+///    the cost model this system exists to minimize.
+///
+/// Unknown fragments are covered by *adaptive readahead*: while demands
+/// arrive exactly at the previous batch's frontier (sequential streaming),
+/// the readahead window doubles — so a run that never skips converges to
+/// maximal chunk-aligned batches, indistinguishable from a planned
+/// stream-all read, with empty Merkle proofs (full-chunk coverage needs no
+/// siblings). The moment the skip oracle cancels a range, the window
+/// collapses to zero: a skip-dense region pages conservatively and keeps
+/// the skip savings intact. Once the window spans at least a chunk, batch
+/// ends snap outward to chunk boundaries so whole-chunk coverage (and the
+/// empty proof that comes with it) is the common case.
+///
+/// Demands always win: the fragments of the demanded range are planned
+/// regardless of classification (the navigator's reads are ground truth).
+/// Hints are pure prefetch policy — they can change when bytes cross the
+/// wire, never whether the decoded view is correct.
+class FetchPlanner {
+ public:
+  FetchPlanner(uint64_t document_bytes, uint32_t fragment_size,
+               uint32_t chunk_size, const PlannerOptions& options);
+
+  /// Look-ahead hint: [begin, end) will be streamed. Rounds outward to
+  /// fragment boundaries (a partially wanted fragment must be fetched
+  /// whole anyway). Overrides earlier exclusions — later evidence wins.
+  void HintWanted(uint64_t begin, uint64_t end);
+
+  /// Skip-oracle cancellation: [begin, end) will not be needed. Rounds
+  /// inward to fragment boundaries (boundary fragments carry neighbouring
+  /// live bytes). Overrides earlier wanted marks.
+  void HintExcluded(uint64_t begin, uint64_t end);
+
+  /// The consumer will stream the entire document (no skip capability, or
+  /// skipping disabled): everything becomes wanted.
+  void HintStreamAll();
+
+  /// Answers whether the SOE can verify fragments [first, last] of a
+  /// chunk with no shipped material (digest-cache probe). Used by the
+  /// proof-aware completion below; may be null.
+  using BareProbe =
+      std::function<bool(uint64_t chunk, uint32_t first, uint32_t last)>;
+
+  /// Plans the batch that satisfies the demand [begin, end): the missing
+  /// demand fragments, extended through missing wanted fragments and the
+  /// adaptive readahead window up to the batch horizon, with
+  /// sub-threshold gaps bridged into contiguous runs. `valid[f]` marks
+  /// fragments already held — they are never re-planned, and a valid
+  /// fragment always splits a run (re-fetching held bytes is the one
+  /// waste coalescing must never introduce).
+  ///
+  /// Proof-aware chunk completion: a chunk the batch covers only
+  /// partially costs a sibling-hash set (20 bytes per proof node) on the
+  /// wire; covering it fully costs the unneeded fragments' ciphertext but
+  /// empties the proof. Whenever the missing bytes are cheaper than the
+  /// proof they'd force — and the chunk is not already bare-verifiable
+  /// via `bare_probe` — the planner completes the chunk. This is the
+  /// amortization arithmetic that makes batched reads chunk-shaped.
+  ///
+  /// The returned runs are sorted and disjoint, and always include the
+  /// first missing demand fragment (progress guarantee); a demand wider
+  /// than the horizon completes over successive calls.
+  std::vector<FragmentRun> Plan(uint64_t begin, uint64_t end,
+                                const std::vector<bool>& valid,
+                                const BareProbe& bare_probe = nullptr);
+
+  uint64_t fragment_count() const { return fragment_count_; }
+  uint64_t gap_threshold_bytes() const { return gap_threshold_; }
+  uint64_t max_batch_bytes() const { return max_batch_; }
+
+  /// Planner-side cost counters.
+  struct Stats {
+    uint64_t hints_wanted = 0;
+    uint64_t hints_excluded = 0;
+    uint64_t gap_fragments_bridged = 0;  ///< Unneeded fragments fetched.
+    uint64_t chunks_completed = 0;  ///< Rounded to full coverage (proof < gap).
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  enum class Mark : uint8_t { kUnknown, kWanted, kExcluded };
+
+  uint64_t document_bytes_;
+  uint32_t fragment_size_;
+  uint32_t chunk_size_;
+  uint64_t fragment_count_;
+  uint64_t gap_threshold_;
+  uint64_t max_batch_;
+  std::vector<Mark> marks_;
+  /// Adaptive sequential readahead: fragment right after the last planned
+  /// batch, and the current window (bytes of unknown fragments a batch may
+  /// speculate through). Doubles on sequential demands, zeroed by
+  /// HintExcluded (skip evidence).
+  uint64_t frontier_ = 0;
+  uint64_t readahead_bytes_ = 0;
+  mutable Stats stats_;
+};
+
+}  // namespace csxa::index
+
+#endif  // CSXA_INDEX_FETCH_PLANNER_H_

@@ -2,48 +2,116 @@
 
 #include <algorithm>
 
+#include "common/clock.h"
+
 namespace csxa::index {
 
 SecureFetcher::SecureFetcher(const crypto::SecureDocumentStore* store,
-                             crypto::SoeDecryptor* soe)
+                             crypto::SoeDecryptor* soe,
+                             const PlannerOptions& planner_options)
     : store_(store),
       soe_(soe),
       fragment_size_(store->layout().fragment_size),
+      planner_(store->ciphertext().size(), store->layout().fragment_size,
+               store->layout().chunk_size, planner_options),
       buffer_(store->plaintext_size(), 0),
-      fragment_valid_(
-          (store->plaintext_size() + store->layout().fragment_size - 1) /
-              store->layout().fragment_size,
-          false) {}
+      fragment_valid_(planner_.fragment_count(), false) {}
 
 Status SecureFetcher::Ensure(uint64_t begin, uint64_t end) {
   end = std::min<uint64_t>(end, buffer_.size());
   if (begin >= end) return Status::OK();
+  const uint32_t chunk_size = store_->layout().chunk_size;
+  const uint64_t padded_size = store_->ciphertext().size();
 
-  uint64_t first_frag = begin / fragment_size_;
-  uint64_t last_frag = (end - 1) / fragment_size_;
-  for (uint64_t f = first_frag; f <= last_frag; ++f) {
-    if (fragment_valid_[f]) continue;
-    // Coalesce the run of missing fragments into one terminal round trip.
-    uint64_t run_end = f;
-    while (run_end + 1 <= last_frag && !fragment_valid_[run_end + 1]) {
-      ++run_end;
+  // One planner batch per terminal round trip; a demand wider than the
+  // batch horizon completes over successive iterations (each is
+  // guaranteed to validate at least the first missing demand fragment).
+  const FetchPlanner::BareProbe bare_probe =
+      [this](uint64_t chunk, uint32_t first, uint32_t last) {
+        return soe_->CanVerifyBare(chunk, first, last);
+      };
+  while (true) {
+    std::vector<FragmentRun> runs =
+        planner_.Plan(begin, end, fragment_valid_, bare_probe);
+    if (runs.empty()) return Status::OK();  // Demand fully held.
+
+    crypto::BatchRequest req;
+    req.runs.reserve(runs.size());
+    for (const FragmentRun& run : runs) {
+      crypto::BatchRequest::Run r;
+      r.begin = run.begin_frag * fragment_size_;
+      r.end = std::min<uint64_t>(run.end_frag * fragment_size_, padded_size);
+      req.runs.push_back(r);
     }
-    uint64_t pos = f * fragment_size_;
-    uint64_t n =
-        std::min<uint64_t>((run_end + 1) * fragment_size_, buffer_.size()) -
-        pos;
-    auto resp = store_->ReadRange(pos, n);
+    // Waive integrity material for every chunk whose covered fragment
+    // ranges the SOE can already verify from its digest cache. A chunk
+    // split across two runs (rare: an already-valid fragment between
+    // them) is waived only when *every* covered range verifies bare.
+    // Probe each (chunk, covered range) exactly once; a chunk split
+    // across two runs (rare) is waived only when every cover verifies.
+    struct ChunkClaim {
+      uint64_t chunk;
+      bool all_bare;
+    };
+    std::vector<ChunkClaim> claims;
+    for (const crypto::BatchRequest::Run& r : req.runs) {
+      uint64_t first_chunk = r.begin / chunk_size;
+      uint64_t last_chunk = (r.end - 1) / chunk_size;
+      for (uint64_t c = first_chunk; c <= last_chunk; ++c) {
+        uint64_t chunk_begin = c * chunk_size;
+        uint64_t cover_begin = std::max<uint64_t>(chunk_begin, r.begin);
+        uint64_t cover_end =
+            std::min<uint64_t>(chunk_begin + chunk_size, r.end);
+        const bool bare = soe_->CanVerifyBare(
+            c,
+            static_cast<uint32_t>((cover_begin - chunk_begin) /
+                                  fragment_size_),
+            static_cast<uint32_t>((cover_end - 1 - chunk_begin) /
+                                  fragment_size_));
+        if (!claims.empty() && claims.back().chunk == c) {
+          claims.back().all_bare &= bare;
+        } else {
+          claims.push_back({c, bare});
+        }
+      }
+    }
+    // Runs are sorted and disjoint, so covers of one chunk are adjacent
+    // and `claims` holds each chunk exactly once.
+    for (const ChunkClaim& claim : claims) {
+      if (claim.all_bare) {
+        req.bare_chunks.push_back(claim.chunk);
+        continue;
+      }
+      // Not fully bare: trim the proof instead — declare every tree node
+      // the SOE already holds so the terminal ships only the genuinely
+      // new hashes (and no digest once the root is authenticated).
+      crypto::BatchRequest::ChunkHint hint = soe_->CacheHintFor(claim.chunk);
+      if (hint.known_nodes != 0 || hint.root_known) {
+        req.hints.push_back(hint);
+      }
+    }
+
+    const uint64_t t0 = NowNs();
+    auto resp = store_->ReadBatch(req);
+    fetch_ns_ += NowNs() - t0;
     CSXA_RETURN_NOT_OK(resp.status());
     wire_bytes_ += resp.value().WireBytes();
     ++requests_;
-    CSXA_ASSIGN_OR_RETURN(std::vector<uint8_t> plain,
-                          soe_->DecryptVerified(resp.value(), pos, n));
-    std::copy(plain.begin(), plain.end(), buffer_.begin() + pos);
-    bytes_fetched_ += n;
-    for (uint64_t g = f; g <= run_end; ++g) fragment_valid_[g] = true;
-    f = run_end;
+    segments_ += req.runs.size();
+    bare_chunk_reads_ += req.bare_chunks.size();
+    CSXA_RETURN_NOT_OK(soe_->DecryptVerifiedBatch(req, resp.value(),
+                                                  buffer_.data(),
+                                                  buffer_.size()));
+    for (const FragmentRun& run : runs) {
+      for (uint64_t f = run.begin_frag; f < run.end_frag; ++f) {
+        fragment_valid_[f] = true;
+      }
+      uint64_t b = run.begin_frag * fragment_size_;
+      uint64_t e = std::min<uint64_t>(run.end_frag * fragment_size_,
+                                      buffer_.size());
+      if (e > b) bytes_fetched_ += e - b;
+    }
   }
-  return Status::OK();
 }
 
 }  // namespace csxa::index

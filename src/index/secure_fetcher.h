@@ -7,23 +7,30 @@
 #include "common/status.h"
 #include "crypto/secure_store.h"
 #include "index/decoder.h"
+#include "index/fetch_planner.h"
 
 namespace csxa::index {
 
 /// Fetcher that materializes the encoded document lazily from the
-/// untrusted terminal: each Ensure() pulls the missing fragments as a
-/// RangeResponse from the SecureDocumentStore, verifies them against the
-/// Merkle chunk digests and decrypts them inside the SOE
-/// (crypto::SoeDecryptor), then caches the plaintext in a fixed buffer the
+/// untrusted terminal, in *batches*: each Ensure() asks the FetchPlanner
+/// for the coalesced set of fragment runs worth pulling now (the missing
+/// demand plus oracle-hinted look-ahead), issues them as one BatchRequest
+/// round trip, has the SOE verify the response against per-chunk Merkle
+/// material — or, for chunks whose digests the SOE already authenticated,
+/// against the verified-digest cache with no material on the wire at all —
+/// and decrypts the plaintext in place into the fixed buffer the
 /// DocumentNavigator reads from.
 ///
 /// Bytes the navigator skips over (pruned subtrees) are never transferred,
-/// verified or decrypted — the property Section 5's cost model measures.
+/// verified or decrypted — the property Section 5's cost model measures;
+/// the skip oracle's HintExcluded() calls cancel them out of planned
+/// batches before they are issued.
 class SecureFetcher : public Fetcher {
  public:
   /// `store` and `soe` must outlive the fetcher.
   SecureFetcher(const crypto::SecureDocumentStore* store,
-                crypto::SoeDecryptor* soe);
+                crypto::SoeDecryptor* soe,
+                const PlannerOptions& planner_options = PlannerOptions());
 
   /// Buffer of plaintext_size() bytes; valid only where Ensure() succeeded.
   const uint8_t* data() const { return buffer_.data(); }
@@ -31,22 +38,45 @@ class SecureFetcher : public Fetcher {
 
   Status Ensure(uint64_t begin, uint64_t end) override;
 
+  // Skip-oracle look-ahead (see FetchPlanner).
+  void HintWanted(uint64_t begin, uint64_t end) override {
+    planner_.HintWanted(begin, end);
+  }
+  void HintExcluded(uint64_t begin, uint64_t end) override {
+    planner_.HintExcluded(begin, end);
+  }
+  void HintStreamAll() override { planner_.HintStreamAll(); }
+  uint64_t preferred_alignment() const override { return fragment_size_; }
+
   /// Total bytes moved over the terminal->SOE channel so far.
   uint64_t wire_bytes() const { return wire_bytes_; }
   /// Plaintext bytes materialized so far (fragment granularity).
   uint64_t bytes_fetched() const { return bytes_fetched_; }
-  /// Number of ReadRange round trips to the terminal.
+  /// Number of batched round trips to the terminal.
   uint64_t requests() const { return requests_; }
+  /// Contiguous ciphertext segments across all batches.
+  uint64_t segments() const { return segments_; }
+  /// Chunk reads served bare — ciphertext only, verified from the cache.
+  uint64_t bare_chunk_reads() const { return bare_chunk_reads_; }
+  /// Wall clock spent in terminal round trips (the simulated wire).
+  uint64_t fetch_ns() const { return fetch_ns_; }
+  const FetchPlanner::Stats& planner_stats() const {
+    return planner_.stats();
+  }
 
  private:
   const crypto::SecureDocumentStore* store_;
   crypto::SoeDecryptor* soe_;
   uint32_t fragment_size_;
+  FetchPlanner planner_;
   std::vector<uint8_t> buffer_;
   std::vector<bool> fragment_valid_;
   uint64_t wire_bytes_ = 0;
   uint64_t bytes_fetched_ = 0;
   uint64_t requests_ = 0;
+  uint64_t segments_ = 0;
+  uint64_t bare_chunk_reads_ = 0;
+  uint64_t fetch_ns_ = 0;
 };
 
 }  // namespace csxa::index

@@ -46,6 +46,27 @@ AuthorizedViewReader::AuthorizedViewReader(
     return nav_->dictionary().Lookup(tag, &id) &&
            present_[id] == generation_;
   };
+  // No skip decision will ever cancel a range: tell the planner the whole
+  // stream is wanted, so the fetch degenerates into maximal batches.
+  if (options_.fetcher != nullptr && !skip_possible_) {
+    options_.fetcher->HintStreamAll();
+  }
+}
+
+void AuthorizedViewReader::HintSubtree(uint64_t begin_bit, uint64_t size_bits,
+                                       bool wanted) {
+  if (options_.fetcher == nullptr || size_bits == 0) return;
+  const uint64_t so = nav_->stream_offset();
+  if (wanted) {
+    // Outward rounding: every byte touching the subtree will be read.
+    options_.fetcher->HintWanted(so + begin_bit / 8,
+                                 so + (begin_bit + size_bits + 7) / 8);
+  } else {
+    // Inward rounding: the boundary bytes carry the element's own header
+    // and close marker, which are still live.
+    options_.fetcher->HintExcluded(so + (begin_bit + 7) / 8,
+                                   so + (begin_bit + size_bits) / 8);
+  }
 }
 
 AuthorizedViewReader::~AuthorizedViewReader() = default;
@@ -71,11 +92,21 @@ Status AuthorizedViewReader::DriveOne() {
       }
       switch (eval_->SubtreeDecision(facts_, item.depth)) {
         case access::SkipDecision::kDescend:
+          // Look-ahead: a subtree that will provably stream in full is
+          // promised to the fetch planner, which batches its fragments
+          // into few round trips instead of demand-paging them.
+          if (eval_->WholeSubtreeAuthorized(facts_, item.depth)) {
+            HintSubtree(item.subtree_begin_bit, item.subtree_bits,
+                        /*wanted=*/true);
+          }
           break;
         case access::SkipDecision::kSkip:
           // The whole children region is provably inert: jump it via the
           // size field. Its fragments are never requested from the
-          // terminal; the next Next() yields this element's close event.
+          // terminal — and the planner cancels any not-yet-issued
+          // read-ahead that would have covered them.
+          HintSubtree(item.subtree_begin_bit, item.subtree_bits,
+                      /*wanted=*/false);
           CSXA_RETURN_NOT_OK(nav_->SkipSubtree());
           ++stats_.skips;
           stats_.skipped_bits += item.subtree_bits;
@@ -88,6 +119,8 @@ Status AuthorizedViewReader::DriveOne() {
           const size_t id = eval_->RegisterDeferral();
           if (deferrals_.size() <= id) deferrals_.resize(id + 1);
           deferrals_[id] = {nav_->Save(), item.depth, item.subtree_bits};
+          HintSubtree(item.subtree_begin_bit, item.subtree_bits,
+                      /*wanted=*/false);
           CSXA_RETURN_NOT_OK(nav_->SkipSubtree());
           ++stats_.deferrals;
           stats_.deferred_bits += item.subtree_bits;
@@ -113,6 +146,11 @@ Status AuthorizedViewReader::BeginSplice(size_t id) {
     return Status::Internal("deferral id out of range");
   }
   resume_ = nav_->Save();
+  // The grant re-activates the once-cancelled range: promise it to the
+  // planner so the re-read arrives in batches (verified bare against the
+  // digest cache wherever its chunks were already authenticated).
+  HintSubtree(deferrals_[id].checkpoint.bit_pos, deferrals_[id].subtree_bits,
+              /*wanted=*/true);
   CSXA_RETURN_NOT_OK(nav_->SeekTo(deferrals_[id].checkpoint));
   splicing_ = true;
   splice_depth_ = deferrals_[id].depth;

@@ -22,6 +22,12 @@ struct DriveOptions {
   /// full streaming (the reference the skip path must be byte-identical
   /// to); deferral needs skipping and is off with it.
   bool enable_skip = true;
+  /// The fetcher materializing the navigator's buffer, if any: the driver
+  /// feeds it look-ahead hints (skip/defer decisions cancel planned
+  /// ranges, fully authorized subtrees and granted deferrals become
+  /// batched prefetches, an unskippable stream becomes one big planned
+  /// read). Hints never affect the decoded view, only batching.
+  index::Fetcher* fetcher = nullptr;
 };
 
 /// What the driver did with the event stream.
@@ -111,6 +117,9 @@ class AuthorizedViewReader {
   Status DriveOne();               ///< Feed one navigator item to the evaluator.
   Status BeginSplice(size_t id);   ///< Seek into deferred subtree #id.
   Result<ViewItem> SpliceNext();   ///< Pull one re-read event.
+  /// Converts a stream-relative subtree extent into document byte offsets
+  /// and forwards it to the fetcher as a wanted/cancelled prefetch range.
+  void HintSubtree(uint64_t begin_bit, uint64_t size_bits, bool wanted);
 
   index::DocumentNavigator* nav_;
   DriveOptions options_;

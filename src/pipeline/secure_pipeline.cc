@@ -23,7 +23,7 @@ Result<std::unique_ptr<ServeStream>> SecureSession::OpenStream(
     const std::vector<access::AccessRule>& rules,
     const ServeOptions& options) const {
   auto stream = std::unique_ptr<ServeStream>(
-      new ServeStream(&store_, cfg_.key, cfg_.version));
+      new ServeStream(&store_, cfg_.key, cfg_.version, options));
   CSXA_ASSIGN_OR_RETURN(
       stream->nav_,
       index::DocumentNavigator::OpenBuffer(stream->fetcher_.data(),
@@ -33,7 +33,7 @@ Result<std::unique_ptr<ServeStream>> SecureSession::OpenStream(
   eval_options.pending_buffer_budget = options.pending_buffer_budget;
   stream->reader_ = std::make_unique<AuthorizedViewReader>(
       stream->nav_.get(), rules, eval_options,
-      DriveOptions{options.enable_skip});
+      DriveOptions{options.enable_skip, &stream->fetcher_});
   return stream;
 }
 
@@ -56,7 +56,13 @@ Result<ServeReport> SecureSession::Serve(
   report.wire_bytes = stream->fetcher().wire_bytes();
   report.bytes_fetched = stream->fetcher().bytes_fetched();
   report.requests = stream->fetcher().requests();
+  report.segments = stream->fetcher().segments();
+  report.bare_chunk_reads = stream->fetcher().bare_chunk_reads();
+  report.gap_fragments_bridged =
+      stream->fetcher().planner_stats().gap_fragments_bridged;
+  report.fetch_ns = stream->fetcher().fetch_ns();
   report.soe = stream->soe();
+  report.digest_cache = stream->cache_stats();
   return report;
 }
 

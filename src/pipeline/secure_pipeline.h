@@ -37,11 +37,21 @@ struct SessionConfig {
 /// Per-serve overrides, so skip/defer/full comparisons reuse one
 /// owner-side build (parse/encode/encrypt happen once).
 struct ServeOptions {
+  ServeOptions() = default;
+  /// The common skip/budget pair; planner and cache knobs keep defaults.
+  ServeOptions(bool skip, uint64_t budget)
+      : enable_skip(skip), pending_buffer_budget(budget) {}
+
   bool enable_skip = true;
   /// Largest encoded subtree (bytes) the evaluator may buffer while its
   /// decision is pending; larger pending subtrees are deferred
   /// (skip-now-reread-later) when provably safe. UINT64_MAX never defers.
   uint64_t pending_buffer_budget = UINT64_MAX;
+  /// Fetch-planner knobs of this serve (gap threshold, batch horizon).
+  index::PlannerOptions planner;
+  /// Verified-digest cache entries in the per-serve SOE decryptor; 0
+  /// disables bare re-reads.
+  size_t digest_cache_capacity = crypto::SoeDecryptor::kDefaultDigestCacheCapacity;
 };
 
 /// Cost-model counters of one serve (the quantities of the paper's
@@ -53,8 +63,13 @@ struct ServeReport {
   uint64_t encoded_bytes = 0;            ///< Size of the encoded image.
   uint64_t wire_bytes = 0;               ///< Terminal→SOE channel traffic.
   uint64_t bytes_fetched = 0;            ///< Plaintext materialized.
-  uint64_t requests = 0;                 ///< Terminal round trips.
+  uint64_t requests = 0;                 ///< Batched terminal round trips.
+  uint64_t segments = 0;                 ///< Ciphertext runs across batches.
+  uint64_t bare_chunk_reads = 0;         ///< Chunk reads verified bare.
+  uint64_t gap_fragments_bridged = 0;    ///< Unneeded fragments coalesced in.
+  uint64_t fetch_ns = 0;                 ///< Wall clock in terminal reads.
   crypto::SoeDecryptor::Counters soe;    ///< Decrypt/hash work in the SOE.
+  crypto::VerifiedDigestCache::Stats digest_cache;  ///< Bare-read economics.
 };
 
 /// The pull endpoint of one serve: owns the per-request SOE chain
@@ -77,14 +92,18 @@ class ServeStream {
   const crypto::SoeDecryptor::Counters& soe() const {
     return soe_.counters();
   }
+  const crypto::VerifiedDigestCache::Stats& cache_stats() const {
+    return soe_.cache_stats();
+  }
 
  private:
   friend class SecureSession;
   ServeStream(const crypto::SecureDocumentStore* store,
-              const crypto::TripleDes::Key& key, uint32_t version)
+              const crypto::TripleDes::Key& key, uint32_t version,
+              const ServeOptions& options)
       : soe_(key, store->layout(), store->plaintext_size(),
-             store->chunk_count(), version),
-        fetcher_(store, &soe_) {}
+             store->chunk_count(), version, options.digest_cache_capacity),
+        fetcher_(store, &soe_, options.planner) {}
 
   crypto::SoeDecryptor soe_;
   index::SecureFetcher fetcher_;
@@ -133,7 +152,10 @@ class SecureSession {
         encoded_bytes_(encoded_bytes) {}
 
   ServeOptions DefaultOptions() const {
-    return ServeOptions{cfg_.enable_skip, cfg_.pending_buffer_budget};
+    ServeOptions options;
+    options.enable_skip = cfg_.enable_skip;
+    options.pending_buffer_budget = cfg_.pending_buffer_budget;
+    return options;
   }
 
   SessionConfig cfg_;

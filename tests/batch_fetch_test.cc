@@ -1,0 +1,471 @@
+// Batched verified-fetch tests: the range-coalescing planner must leave
+// every authorized view byte-identical whatever its gap threshold, batch
+// horizon or readahead dynamics; coalescing must only ever reduce round
+// trips; and the verified-digest cache must make re-reads cheap without
+// weakening integrity — a tampered terminal must be caught even on a
+// cache-hit ("bare") re-read that ships no Merkle material at all.
+
+#include <string>
+#include <vector>
+
+#include "access/access_rule.h"
+#include "crypto/secure_store.h"
+#include "index/fetch_planner.h"
+#include "index/secure_fetcher.h"
+#include "pipeline/secure_pipeline.h"
+#include "testing.h"
+#include "xml/sax_parser.h"
+#include "xml/serializer.h"
+
+namespace {
+
+using namespace csxa;  // NOLINT
+
+crypto::TripleDes::Key TestKey() {
+  crypto::TripleDes::Key key{};
+  for (size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<uint8_t>(0xa7 ^ (i * 31));
+  }
+  return key;
+}
+
+std::string Payload(const char* stem, int i, size_t n) {
+  std::string s = std::string(stem) + "-" + std::to_string(i) + "-";
+  while (s.size() < n) s += "loremipsum";
+  s.resize(n);
+  return s;
+}
+
+/// Folder set with bulky denied subtrees, rare grants, and a trailing
+/// clearance predicate — exercises skips, deferrals and re-reads at once.
+std::string TestDocument(int folders) {
+  std::string xml = "<Hospital>";
+  for (int f = 0; f < folders; ++f) {
+    xml += "<Folder><Admin>";
+    xml += "<Name>Patient-" + std::to_string(f) + "</Name>";
+    xml += "<Insurance>" + Payload("ins", f, 160) + "</Insurance>";
+    xml += "</Admin><MedActs>";
+    for (int c = 0; c < 3; ++c) {
+      xml += "<Consult><Diagnostic>" + Payload("diag", f * 10 + c, 56) +
+             "</Diagnostic><Prescription>rx-" + std::to_string(f * 10 + c) +
+             "</Prescription></Consult>";
+    }
+    xml += "</MedActs>";
+    xml += std::string("<Clearance>") + (f % 2 ? "closed" : "open") +
+           "</Clearance></Folder>";
+  }
+  xml += "</Hospital>";
+  return xml;
+}
+
+const char* const kRuleSets[] = {
+    "+ /Hospital/Folder/MedActs\n",
+    "+ //Prescription\n",
+    "+ /Hospital/Folder[Clearance = open]/MedActs\n",
+};
+
+std::string DirectView(const std::string& xml,
+                       const std::vector<access::AccessRule>& rules) {
+  xml::SerializingHandler ser;
+  access::RuleEvaluator eval(rules, &ser);
+  CHECK_OK(xml::SaxParser::Parse(xml, &eval));
+  CHECK_OK(eval.Finish());
+  return ser.output();
+}
+
+// ---------------------------------------------------------------------------
+// Coalescing equivalence matrix: gap thresholds x variants x rulesets.
+// ---------------------------------------------------------------------------
+
+TEST(CoalescingEquivalenceMatrix) {
+  const std::string xml = TestDocument(/*folders=*/4);
+  // Ordered gap thresholds, small to bridge-everything; requests must be
+  // monotonically non-increasing along this axis (more bridging can only
+  // merge round trips, never create new ones) while every view stays
+  // byte-identical to the oracle-free reference.
+  const uint64_t kThresholds[] = {0, 32, 256, 4096};
+  for (const char* rules_text : kRuleSets) {
+    auto parsed = access::ParseRuleList(rules_text);
+    CHECK_OK(parsed.status());
+    if (!parsed.ok()) continue;
+    std::vector<access::AccessRule> rules = parsed.take();
+    const std::string expected = DirectView(xml, rules);
+    for (auto variant : {index::Variant::kTc, index::Variant::kTcs,
+                         index::Variant::kTcsb, index::Variant::kTcsbr}) {
+      pipeline::SessionConfig cfg;
+      cfg.variant = variant;
+      cfg.layout.chunk_size = 256;
+      cfg.layout.fragment_size = 32;
+      cfg.key = TestKey();
+      auto session = pipeline::SecureSession::Build(xml, cfg);
+      CHECK_OK(session.status());
+      if (!session.ok()) continue;
+
+      uint64_t prev_requests = UINT64_MAX;
+      for (uint64_t gap : kThresholds) {
+        pipeline::ServeOptions opts;
+        opts.planner.gap_threshold_bytes = gap;
+        auto report = session.value().Serve(rules, opts);
+        CHECK_OK(report.status());
+        if (!report.ok()) continue;
+        CHECK_EQ(report.value().view, expected);
+        CHECK(report.value().requests <= prev_requests);
+        prev_requests = report.value().requests;
+        // Sanity: the batch accounting stays coherent.
+        CHECK(report.value().segments >= report.value().requests);
+        CHECK(report.value().bytes_fetched <= session.value().encoded_bytes());
+      }
+    }
+  }
+}
+
+TEST(BatchHorizonDoesNotChangeViews) {
+  // Degenerate horizons (one fragment per batch, everything in one batch)
+  // only change round-trip counts, never bytes of the view.
+  const std::string xml = TestDocument(/*folders=*/3);
+  auto rules = access::ParseRuleList("+ //Prescription\n").take();
+  const std::string expected = DirectView(xml, rules);
+  pipeline::SessionConfig cfg;
+  cfg.layout.chunk_size = 128;
+  cfg.layout.fragment_size = 16;
+  cfg.key = TestKey();
+  auto session = pipeline::SecureSession::Build(xml, cfg);
+  CHECK_OK(session.status());
+  if (!session.ok()) return;
+  uint64_t tiny_requests = 0, huge_requests = 0;
+  for (uint64_t horizon : {uint64_t{16}, uint64_t{1} << 20}) {
+    pipeline::ServeOptions opts;
+    opts.planner.max_batch_bytes = horizon;
+    auto report = session.value().Serve(rules, opts);
+    CHECK_OK(report.status());
+    if (!report.ok()) continue;
+    CHECK_EQ(report.value().view, expected);
+    (horizon == 16 ? tiny_requests : huge_requests) = report.value().requests;
+  }
+  CHECK(huge_requests < tiny_requests);
+}
+
+// ---------------------------------------------------------------------------
+// Verified-digest cache: bare re-reads are cheap but never trusting.
+// ---------------------------------------------------------------------------
+
+crypto::ChunkLayout SmallLayout() {
+  crypto::ChunkLayout layout;
+  layout.chunk_size = 64;
+  layout.fragment_size = 8;
+  return layout;
+}
+
+TEST(BareReReadVerifiesAgainstCache) {
+  std::vector<uint8_t> doc(200);
+  for (size_t i = 0; i < doc.size(); ++i) doc[i] = static_cast<uint8_t>(i);
+  auto layout = SmallLayout();
+  auto store = crypto::SecureDocumentStore::Build(doc, TestKey(), layout);
+  CHECK_OK(store.status());
+  if (!store.ok()) return;
+  crypto::SoeDecryptor soe(TestKey(), layout, doc.size(),
+                           store.value().chunk_count());
+  std::vector<uint8_t> out(doc.size(), 0);
+
+  // First touch of chunk 0: fragments [0..3] with full material.
+  crypto::BatchRequest req1;
+  req1.runs.push_back({0, 32});
+  auto resp1 = store.value().ReadBatch(req1);
+  CHECK_OK(resp1.status());
+  CHECK_OK(soe.DecryptVerifiedBatch(req1, resp1.value(), out.data(),
+                                    out.size()));
+  CHECK(std::equal(doc.begin(), doc.begin() + 32, out.begin()));
+  CHECK_EQ(resp1.value().chunks.size(), size_t{1});
+
+  // Re-read of the chunk's other half: the cache holds the sibling
+  // hashes, so the read is waived bare — ciphertext only.
+  CHECK(soe.CanVerifyBare(0, 4, 7));
+  crypto::BatchRequest req2;
+  req2.runs.push_back({32, 64});
+  req2.bare_chunks.push_back(0);
+  auto resp2 = store.value().ReadBatch(req2);
+  CHECK_OK(resp2.status());
+  CHECK_EQ(resp2.value().chunks.size(), size_t{0});  // No material shipped.
+  CHECK_EQ(resp2.value().WireBytes(), uint64_t{32});
+  CHECK_OK(soe.DecryptVerifiedBatch(req2, resp2.value(), out.data(),
+                                    out.size()));
+  CHECK(std::equal(doc.begin() + 32, doc.begin() + 64, out.begin() + 32));
+  CHECK(soe.cache_stats().bare_hits > 0);
+}
+
+TEST(TamperedBareReReadIsRejected) {
+  // The cache must not weaken integrity: a terminal that tampers with
+  // bytes served bare (no proof, no digest on the wire) is still caught,
+  // because the recomputed leaf hashes no longer combine to the cached,
+  // already-authenticated root.
+  std::vector<uint8_t> doc(200);
+  for (size_t i = 0; i < doc.size(); ++i) doc[i] = static_cast<uint8_t>(i * 3);
+  auto layout = SmallLayout();
+  auto store = crypto::SecureDocumentStore::Build(doc, TestKey(), layout);
+  CHECK_OK(store.status());
+  if (!store.ok()) return;
+  crypto::SoeDecryptor soe(TestKey(), layout, doc.size(),
+                           store.value().chunk_count());
+  std::vector<uint8_t> out(doc.size(), 0);
+
+  crypto::BatchRequest req1;
+  req1.runs.push_back({0, 32});
+  auto resp1 = store.value().ReadBatch(req1);
+  CHECK_OK(resp1.status());
+  CHECK_OK(soe.DecryptVerifiedBatch(req1, resp1.value(), out.data(),
+                                    out.size()));
+
+  // The terminal tampers with a byte of the not-yet-read half...
+  store.value().TamperByte(40, 0x42);
+  CHECK(soe.CanVerifyBare(0, 4, 7));
+  crypto::BatchRequest req2;
+  req2.runs.push_back({32, 64});
+  req2.bare_chunks.push_back(0);
+  auto resp2 = store.value().ReadBatch(req2);
+  CHECK_OK(resp2.status());
+  Status st =
+      soe.DecryptVerifiedBatch(req2, resp2.value(), out.data(), out.size());
+  CHECK(st.code() == StatusCode::kIntegrityError);
+
+  // ... and omitting material without the SOE's waiver also fails.
+  crypto::BatchRequest req3;
+  req3.runs.push_back({64, 128});
+  auto resp3 = store.value().ReadBatch(req3);
+  CHECK_OK(resp3.status());
+  resp3.value().chunks.clear();  // Terminal withholds integrity evidence.
+  st = soe.DecryptVerifiedBatch(req3, resp3.value(), out.data(), out.size());
+  CHECK(st.code() == StatusCode::kIntegrityError);
+}
+
+TEST(TinyCacheCannotEvictClaimsMidBatch) {
+  // A batch whose waivers/hints were built against the cache must stay
+  // valid while the same batch records other chunks: with capacity 1, a
+  // Record() for chunk 0 must not evict chunk 1's pinned entry that the
+  // request's bare claim depends on — an honest response would fail.
+  std::vector<uint8_t> doc(200);
+  for (size_t i = 0; i < doc.size(); ++i) doc[i] = static_cast<uint8_t>(i);
+  auto layout = SmallLayout();
+  auto store = crypto::SecureDocumentStore::Build(doc, TestKey(), layout);
+  CHECK_OK(store.status());
+  if (!store.ok()) return;
+  crypto::SoeDecryptor soe(TestKey(), layout, doc.size(),
+                           store.value().chunk_count(),
+                           /*expected_version=*/0,
+                           /*digest_cache_capacity=*/1);
+  std::vector<uint8_t> out(doc.size(), 0);
+
+  // Touch chunk 1 (fragments 0..3) — the single cache slot holds it.
+  crypto::BatchRequest req1;
+  req1.runs.push_back({64, 96});
+  auto resp1 = store.value().ReadBatch(req1);
+  CHECK_OK(resp1.status());
+  CHECK_OK(soe.DecryptVerifiedBatch(req1, resp1.value(), out.data(),
+                                    out.size()));
+  CHECK(soe.CanVerifyBare(1, 4, 7));
+
+  // One batch: chunk 0 with material (verified first, would evict) and
+  // chunk 1's other half bare.
+  crypto::BatchRequest req2;
+  req2.runs.push_back({0, 64});
+  req2.runs.push_back({96, 128});
+  req2.bare_chunks.push_back(1);
+  auto resp2 = store.value().ReadBatch(req2);
+  CHECK_OK(resp2.status());
+  CHECK_OK(soe.DecryptVerifiedBatch(req2, resp2.value(), out.data(),
+                                    out.size()));
+  CHECK(std::equal(doc.begin(), doc.begin() + 128, out.begin()));
+}
+
+TEST(TamperedTrimmedProofIsRejected) {
+  // Proof trimming (the terminal omits hashes the SOE declared cached)
+  // must not open a substitution hole: tampered fragments under a trimmed
+  // proof still fail against the cached nodes.
+  std::vector<uint8_t> doc(200);
+  for (size_t i = 0; i < doc.size(); ++i) doc[i] = static_cast<uint8_t>(i ^ 7);
+  auto layout = SmallLayout();
+  auto store = crypto::SecureDocumentStore::Build(doc, TestKey(), layout);
+  CHECK_OK(store.status());
+  if (!store.ok()) return;
+  crypto::SoeDecryptor soe(TestKey(), layout, doc.size(),
+                           store.value().chunk_count());
+  std::vector<uint8_t> out(doc.size(), 0);
+
+  crypto::BatchRequest req1;
+  req1.runs.push_back({0, 16});  // Fragments [0..1] only.
+  auto resp1 = store.value().ReadBatch(req1);
+  CHECK_OK(resp1.status());
+  CHECK_OK(soe.DecryptVerifiedBatch(req1, resp1.value(), out.data(),
+                                    out.size()));
+
+  store.value().TamperByte(20, 0x80);  // Inside fragment 2.
+  crypto::BatchRequest req2;
+  req2.runs.push_back({16, 32});  // Fragments [2..3], trimmed material.
+  req2.hints.push_back(soe.CacheHintFor(0));
+  CHECK(req2.hints[0].known_nodes != 0);
+  CHECK(req2.hints[0].root_known);
+  auto resp2 = store.value().ReadBatch(req2);
+  CHECK_OK(resp2.status());
+  // The trimmed material carries no digest (root waived)...
+  CHECK(!resp2.value().chunks.empty());
+  CHECK(resp2.value().chunks[0].encrypted_digest.empty());
+  Status st =
+      soe.DecryptVerifiedBatch(req2, resp2.value(), out.data(), out.size());
+  CHECK(st.code() == StatusCode::kIntegrityError);
+}
+
+// ---------------------------------------------------------------------------
+// Deferral re-reads through the pipeline: cheap with the cache, still
+// tamper-proof, and never double-fetching.
+// ---------------------------------------------------------------------------
+
+TEST(DeferralRereadsUseDigestCache) {
+  const std::string xml = TestDocument(/*folders=*/6);
+  auto rules =
+      access::ParseRuleList("+ /Hospital/Folder[Clearance = open]/MedActs\n")
+          .take();
+  const std::string expected = DirectView(xml, rules);
+  pipeline::SessionConfig cfg;
+  cfg.layout.chunk_size = 256;
+  cfg.layout.fragment_size = 32;
+  cfg.key = TestKey();
+  auto session = pipeline::SecureSession::Build(xml, cfg);
+  CHECK_OK(session.status());
+  if (!session.ok()) return;
+
+  pipeline::ServeOptions deferred;
+  deferred.pending_buffer_budget = 64;  // Force deferrals + re-reads.
+  auto with_cache = session.value().Serve(rules, deferred);
+  pipeline::ServeOptions no_cache = deferred;
+  no_cache.digest_cache_capacity = 0;
+  auto without_cache = session.value().Serve(rules, no_cache);
+  CHECK_OK(with_cache.status());
+  CHECK_OK(without_cache.status());
+  if (!with_cache.ok() || !without_cache.ok()) return;
+  CHECK_EQ(with_cache.value().view, expected);
+  CHECK_EQ(without_cache.value().view, expected);
+  CHECK(with_cache.value().drive.rereads > 0);
+  // The cache turns re-read verification material-free: bare chunk reads
+  // happen, and the wire total strictly beats the cache-less serve.
+  CHECK(with_cache.value().bare_chunk_reads > 0);
+  CHECK_EQ(without_cache.value().bare_chunk_reads, uint64_t{0});
+  CHECK(with_cache.value().wire_bytes < without_cache.value().wire_bytes);
+}
+
+TEST(TamperedDeferralRereadIsRejectedThroughPipeline) {
+  const std::string xml = TestDocument(/*folders=*/6);
+  auto rules =
+      access::ParseRuleList("+ /Hospital/Folder[Clearance = open]/MedActs\n")
+          .take();
+  pipeline::SessionConfig cfg;
+  cfg.layout.chunk_size = 256;
+  cfg.layout.fragment_size = 32;
+  cfg.key = TestKey();
+  auto session = pipeline::SecureSession::Build(xml, cfg);
+  CHECK_OK(session.status());
+  if (!session.ok()) return;
+  pipeline::ServeOptions deferred;
+  deferred.pending_buffer_budget = 64;
+  auto clean = session.value().Serve(rules, deferred);
+  CHECK_OK(clean.status());
+  // Tamper somewhere in the first granted folder's MedActs region (the
+  // re-read bytes): every 8th byte of the first third, to be sure at
+  // least one lands in a deferred subtree whichever way it was encoded.
+  for (uint64_t pos = 64; pos < session.value().encoded_bytes() / 3;
+       pos += 8) {
+    session.value().mutable_store()->TamperByte(pos, 0x10);
+  }
+  auto tampered = session.value().Serve(rules, deferred);
+  CHECK(!tampered.ok());
+  if (!tampered.ok()) {
+    CHECK(tampered.status().code() == StatusCode::kIntegrityError);
+  }
+}
+
+TEST(FullStreamFetchesEveryFragmentExactlyOnce) {
+  // The no-double-fetch invariant behind the header-prefetch alignment
+  // fix: across header growth, batching, readahead and chunk completion,
+  // a full stream materializes every plaintext byte exactly once —
+  // bytes_fetched exceeding the document would mean a straddled fragment
+  // was paid for twice.
+  const std::string xml = TestDocument(/*folders=*/4);
+  for (auto layout_pair : {std::pair<uint32_t, uint32_t>{256, 32},
+                           {192, 24},   // 256-byte header prefetch unaligned
+                           {64, 8}}) {
+    pipeline::SessionConfig cfg;
+    cfg.variant = index::Variant::kTc;  // Streams everything.
+    cfg.layout.chunk_size = layout_pair.first;
+    cfg.layout.fragment_size = layout_pair.second;
+    cfg.key = TestKey();
+    auto session = pipeline::SecureSession::Build(xml, cfg);
+    CHECK_OK(session.status());
+    if (!session.ok()) continue;
+    auto report = session.value().Serve(
+        std::vector<access::AccessRule>{}, pipeline::ServeOptions{});
+    CHECK_OK(report.status());
+    if (!report.ok()) continue;
+    CHECK_EQ(report.value().bytes_fetched,
+             session.value().store().plaintext_size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Planner unit tests.
+// ---------------------------------------------------------------------------
+
+TEST(PlannerHonoursHintsAndValidity) {
+  index::PlannerOptions opts;
+  opts.gap_threshold_bytes = 0;
+  opts.max_batch_bytes = 1 << 20;
+  index::FetchPlanner planner(/*document_bytes=*/1024, /*fragment_size=*/32,
+                              /*chunk_size=*/256, opts);
+  std::vector<bool> valid(planner.fragment_count(), false);
+
+  // Unknown fragments beyond the demand are not speculated into a cold
+  // batch (first demand: no sequential streak yet beyond its own span).
+  auto runs = planner.Plan(0, 32, valid);
+  CHECK_EQ(runs.size(), size_t{1});
+  CHECK_EQ(runs[0].begin_frag, uint64_t{0});
+  CHECK_EQ(runs[0].end_frag, uint64_t{1});
+
+  // Wanted ranges extend the batch; excluded ranges cut it.
+  planner.HintWanted(64, 256);
+  planner.HintExcluded(128, 192);
+  valid[0] = true;
+  runs = planner.Plan(32, 64, valid);
+  // Demand frag 1, wanted frags 2..7 minus excluded 4..5.
+  CHECK_EQ(runs.size(), size_t{2});
+  CHECK_EQ(runs[0].begin_frag, uint64_t{1});
+  CHECK_EQ(runs[0].end_frag, uint64_t{4});
+  CHECK_EQ(runs[1].begin_frag, uint64_t{6});
+  CHECK_EQ(runs[1].end_frag, uint64_t{8});
+
+  // A demanded range is fetched even through exclusions, but held
+  // fragments are never re-planned.
+  for (auto& r : runs) {
+    for (uint64_t f = r.begin_frag; f < r.end_frag; ++f) valid[f] = true;
+  }
+  runs = planner.Plan(128, 192, valid);
+  CHECK_EQ(runs.size(), size_t{1});
+  CHECK_EQ(runs[0].begin_frag, uint64_t{4});
+  CHECK_EQ(runs[0].end_frag, uint64_t{6});
+}
+
+TEST(PlannerBridgesSubThresholdGaps) {
+  index::PlannerOptions opts;
+  opts.gap_threshold_bytes = 64;  // Two 32-byte fragments.
+  opts.max_batch_bytes = 1 << 20;
+  index::FetchPlanner planner(/*document_bytes=*/1024, /*fragment_size=*/32,
+                              /*chunk_size=*/1024, opts);
+  std::vector<bool> valid(planner.fragment_count(), false);
+  planner.HintWanted(0, 64);     // frags 0..1
+  planner.HintWanted(128, 192);  // frags 4..5 (gap of 2 = threshold)
+  planner.HintWanted(320, 352);  // frag 10 (gap of 4 > threshold)
+  auto runs = planner.Plan(0, 32, valid);
+  CHECK_EQ(runs.size(), size_t{2});
+  CHECK_EQ(runs[0].begin_frag, uint64_t{0});
+  CHECK_EQ(runs[0].end_frag, uint64_t{6});  // Gap 2..3 bridged.
+  CHECK_EQ(runs[1].begin_frag, uint64_t{10});
+  CHECK(planner.stats().gap_fragments_bridged >= 2);
+}
+
+}  // namespace

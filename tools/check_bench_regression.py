@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: diff a fresh csxa_bench run against the committed
+baseline and fail if terminal round trips, wire bytes, or peak buffered
+bytes regress on any scenario/variant — the three quantities the fetch
+planner, the chunk-amortized proofs and the deferral budget exist to hold
+down. Wall-clock timings are informational (machine-dependent) and are
+never gated.
+
+Usage: check_bench_regression.py BASELINE.json FRESH.json [tolerance]
+
+`tolerance` is a fractional slack (default 0.02) absorbing byte-count
+jitter from layout-incidental effects; requests are gated exactly.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"REGRESSION: {msg}")
+    return 1
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 2
+    baseline = json.load(open(sys.argv[1]))
+    fresh = json.load(open(sys.argv[2]))
+    tolerance = float(sys.argv[3]) if len(sys.argv) > 3 else 0.02
+
+    rc = 0
+    base_scenarios = {s["name"]: s for s in baseline["scenarios"]}
+    for scenario in fresh["scenarios"]:
+        base = base_scenarios.get(scenario["name"])
+        if base is None:
+            continue  # New scenario: nothing to regress against.
+        base_variants = {v["variant"]: v for v in base["variants"]}
+        for variant in scenario["variants"]:
+            ref = base_variants.get(variant["variant"])
+            if ref is None:
+                continue
+            where = f'{scenario["name"]}/{variant["variant"]}'
+            if not variant.get("view_matches_reference", False):
+                rc |= fail(f"{where}: authorized view diverges")
+            if variant["requests"] > ref["requests"]:
+                rc |= fail(
+                    f'{where}: requests {variant["requests"]} > '
+                    f'baseline {ref["requests"]}')
+            for key in ("wire_bytes", "peak_buffered_bytes"):
+                if variant[key] > ref[key] * (1 + tolerance):
+                    rc |= fail(
+                        f'{where}: {key} {variant[key]} > '
+                        f'baseline {ref[key]} (+{tolerance:.0%})')
+
+    for strategy in ("deferred", "buffered"):
+        ref = baseline["deferred_mode"][strategy]
+        cur = fresh["deferred_mode"][strategy]
+        for key in ("wire_bytes", "peak_buffered_bytes"):
+            if cur[key] > ref[key] * (1 + tolerance):
+                rc |= fail(
+                    f'deferred_mode/{strategy}: {key} {cur[key]} > '
+                    f'baseline {ref[key]} (+{tolerance:.0%})')
+
+    if not fresh.get("checks_passed", False):
+        rc |= fail("bench-internal checks failed")
+    if rc == 0:
+        print("bench within baseline: no regression in requests, wire "
+              "bytes, or peak buffered bytes")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,14 +5,18 @@
 // hashes, and how much the evaluator-driven skip navigation prunes —
 // while asserting every variant serves the byte-identical authorized view.
 //
-// Results are written as JSON (default BENCH_PR3.json) so successive PRs
-// can diff the perf trajectory. The run exits nonzero if any view
-// diverges, if the Skip-index variants (TCSB/TCSBR) fail to *strictly*
-// reduce transferred and decrypted bytes against TCS on the pruning
-// scenarios — the paper's headline claim — or if the deferred-mode
-// section (pending predicate guarding the document's largest subtrees)
-// breaches the pending-buffer budget: peak buffered bytes must stay
-// under it while the authorized view stays byte-identical.
+// Results are written as JSON (default BENCH_PR4.json) so successive PRs
+// can diff the perf trajectory. Alongside the byte counters each variant
+// now carries wall-clock stage timings (fetch / decrypt / hash / evaluate,
+// ns and MB/s) — byte counts alone cannot show CPU wins. The run exits
+// nonzero if any view diverges, if the Skip-index variants (TCSB/TCSBR)
+// fail to *strictly* reduce transferred and decrypted bytes against TCS
+// on the pruning scenarios — the paper's headline claim — if the batched
+// fetch planner regresses (closed-world TC must stay within 40 round
+// trips and under NC's wire bytes), or if the deferred-mode section
+// (pending predicate guarding the document's largest subtrees) breaches
+// the pending-buffer budget: peak buffered bytes must stay under it while
+// the authorized view stays byte-identical.
 
 #include <cstdint>
 #include <cstdio>
@@ -20,6 +24,7 @@
 #include <vector>
 
 #include "access/access_rule.h"
+#include "common/clock.h"
 #include "access/rule_evaluator.h"
 #include "common/status.h"
 #include "crypto/secure_store.h"
@@ -167,6 +172,9 @@ struct VariantRun {
   uint64_t bytes_decrypted = 0;
   uint64_t bytes_hashed = 0;
   uint64_t requests = 0;
+  uint64_t segments = 0;
+  uint64_t bare_chunk_reads = 0;
+  uint64_t gap_fragments_bridged = 0;
   uint64_t skips = 0;
   uint64_t skipped_bytes = 0;
   uint64_t events_in = 0;
@@ -175,8 +183,24 @@ struct VariantRun {
   uint64_t deferrals = 0;
   uint64_t rereads = 0;
   uint64_t reread_bytes = 0;
+  // Wall-clock stage timings of the skip-enabled serve.
+  uint64_t serve_ns = 0;
+  uint64_t fetch_ns = 0;
+  uint64_t decrypt_ns = 0;
+  uint64_t hash_ns = 0;
+  uint64_t evaluate_ns = 0;  ///< serve minus the accounted stages.
   std::string view;
 };
+
+void FillTimings(VariantRun* run, uint64_t serve_ns, uint64_t fetch_ns,
+                 uint64_t decrypt_ns, uint64_t hash_ns) {
+  run->serve_ns = serve_ns;
+  run->fetch_ns = fetch_ns;
+  run->decrypt_ns = decrypt_ns;
+  run->hash_ns = hash_ns;
+  const uint64_t accounted = fetch_ns + decrypt_ns + hash_ns;
+  run->evaluate_ns = serve_ns > accounted ? serve_ns - accounted : 0;
+}
 
 /// NC reference point: the raw XML text is encrypted as-is; with no
 /// structure index nothing can be skipped, so the whole ciphertext crosses
@@ -193,6 +217,7 @@ Result<VariantRun> RunNc(const std::string& xml,
   crypto::SoeDecryptor soe(BenchKey(), layout, store.plaintext_size(),
                            store.chunk_count());
   index::SecureFetcher fetcher(&store, &soe);
+  const uint64_t t0 = NowNs();
   CSXA_RETURN_NOT_OK(fetcher.Ensure(0, fetcher.size()));
   std::string plain(reinterpret_cast<const char*>(fetcher.data()),
                     fetcher.size());
@@ -200,12 +225,15 @@ Result<VariantRun> RunNc(const std::string& xml,
   access::RuleEvaluator eval(rules, &ser);
   CSXA_RETURN_NOT_OK(xml::SaxParser::Parse(plain, &eval));
   CSXA_RETURN_NOT_OK(eval.Finish());
+  FillTimings(&run, NowNs() - t0, fetcher.fetch_ns(),
+              soe.counters().decrypt_ns, soe.counters().hash_ns);
   run.encoded_bytes = bytes.size();
   run.wire_bytes = run.wire_bytes_full = fetcher.wire_bytes();
   run.bytes_fetched = fetcher.bytes_fetched();
   run.bytes_decrypted = soe.counters().bytes_decrypted;
   run.bytes_hashed = soe.counters().bytes_hashed;
   run.requests = fetcher.requests();
+  run.segments = fetcher.segments();
   run.events_in = eval.stats().events_in;
   run.peak_buffered = eval.stats().peak_buffered;
   run.peak_buffered_bytes = eval.stats().peak_buffered_bytes;
@@ -222,8 +250,10 @@ Result<VariantRun> RunVariant(const std::string& xml, index::Variant variant,
   cfg.layout = layout;
   cfg.key = BenchKey();
   CSXA_ASSIGN_OR_RETURN(auto session, pipeline::SecureSession::Build(xml, cfg));
+  const uint64_t t0 = NowNs();
   CSXA_ASSIGN_OR_RETURN(pipeline::ServeReport report,
                         session.Serve(rules, /*enable_skip=*/true));
+  const uint64_t serve_ns = NowNs() - t0;
   CSXA_ASSIGN_OR_RETURN(pipeline::ServeReport full,
                         session.Serve(rules, /*enable_skip=*/false));
   if (full.view != report.view) {
@@ -232,6 +262,8 @@ Result<VariantRun> RunVariant(const std::string& xml, index::Variant variant,
 
   VariantRun run;
   run.variant = variant;
+  FillTimings(&run, serve_ns, report.fetch_ns, report.soe.decrypt_ns,
+              report.soe.hash_ns);
   run.encoded_bytes = report.encoded_bytes;
   run.wire_bytes = report.wire_bytes;
   run.wire_bytes_full = full.wire_bytes;
@@ -239,6 +271,9 @@ Result<VariantRun> RunVariant(const std::string& xml, index::Variant variant,
   run.bytes_decrypted = report.soe.bytes_decrypted;
   run.bytes_hashed = report.soe.bytes_hashed;
   run.requests = report.requests;
+  run.segments = report.segments;
+  run.bare_chunk_reads = report.bare_chunk_reads;
+  run.gap_fragments_bridged = report.gap_fragments_bridged;
   run.skips = report.drive.skips;
   run.skipped_bytes = report.drive.skipped_bits / 8;
   run.events_in = report.eval.events_in;
@@ -334,6 +369,23 @@ bool RunDeferredMode(std::string* json, const crypto::ChunkLayout& layout) {
                  "deferrals\n");
     ok = false;
   }
+  // Re-read economy: granted deferrals must not pay the proof machinery
+  // twice — splices verify against the digest cache (bare chunk reads)
+  // and the deferred strategy must beat classic buffering on the wire.
+  if (d.value().bare_chunk_reads == 0) {
+    std::fprintf(stderr,
+                 "deferred_mode: re-reads shipped integrity material the "
+                 "digest cache should have waived\n");
+    ok = false;
+  }
+  if (d.value().wire_bytes >= b.value().wire_bytes) {
+    std::fprintf(stderr,
+                 "deferred_mode: deferral no longer cheaper than "
+                 "buffering on the wire (%llu vs %llu)\n",
+                 static_cast<unsigned long long>(d.value().wire_bytes),
+                 static_cast<unsigned long long>(b.value().wire_bytes));
+    ok = false;
+  }
 
   auto u64 = [](uint64_t v) { return std::to_string(v); };
   auto emit = [&](const char* name, const pipeline::ServeReport& r) {
@@ -347,6 +399,7 @@ bool RunDeferredMode(std::string* json, const crypto::ChunkLayout& layout) {
     *json += ", \"deferrals_denied\": " + u64(r.eval.deferrals_denied);
     *json += ", \"rereads\": " + u64(r.drive.rereads);
     *json += ", \"reread_bytes\": " + u64(r.drive.reread_bits / 8);
+    *json += ", \"bare_chunk_reads\": " + u64(r.bare_chunk_reads);
     *json += "}";
   };
   *json += "  \"deferred_mode\": {\n";
@@ -389,6 +442,9 @@ void AppendVariantJson(std::string* json, const VariantRun& run,
   *json += ", \"bytes_decrypted\": " + u64(run.bytes_decrypted);
   *json += ", \"bytes_hashed\": " + u64(run.bytes_hashed);
   *json += ", \"requests\": " + u64(run.requests);
+  *json += ", \"segments\": " + u64(run.segments);
+  *json += ", \"bare_chunk_reads\": " + u64(run.bare_chunk_reads);
+  *json += ", \"gap_fragments_bridged\": " + u64(run.gap_fragments_bridged);
   *json += ", \"subtree_skips\": " + u64(run.skips);
   *json += ", \"skipped_encoded_bytes\": " + u64(run.skipped_bytes);
   *json += ", \"events_in\": " + u64(run.events_in);
@@ -397,6 +453,28 @@ void AppendVariantJson(std::string* json, const VariantRun& run,
   *json += ", \"deferrals\": " + u64(run.deferrals);
   *json += ", \"rereads\": " + u64(run.rereads);
   *json += ", \"reread_bytes\": " + u64(run.reread_bytes);
+  // Wall-clock stage timings (per skip-enabled serve) and derived
+  // throughputs; evaluate_ns is the unaccounted remainder (navigation +
+  // rule automata + serialization).
+  auto mbps = [](uint64_t bytes, uint64_t ns) {
+    return ns == 0 ? 0.0 : static_cast<double>(bytes) * 1000.0 /
+                               static_cast<double>(ns);
+  };
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                ", \"timings\": {\"serve_ns\": %llu, \"fetch_ns\": %llu, "
+                "\"decrypt_ns\": %llu, \"hash_ns\": %llu, "
+                "\"evaluate_ns\": %llu, \"decrypt_mb_s\": %.1f, "
+                "\"hash_mb_s\": %.1f, \"serve_mb_s\": %.1f}",
+                static_cast<unsigned long long>(run.serve_ns),
+                static_cast<unsigned long long>(run.fetch_ns),
+                static_cast<unsigned long long>(run.decrypt_ns),
+                static_cast<unsigned long long>(run.hash_ns),
+                static_cast<unsigned long long>(run.evaluate_ns),
+                mbps(run.bytes_decrypted, run.decrypt_ns),
+                mbps(run.bytes_hashed, run.hash_ns),
+                mbps(run.encoded_bytes, run.serve_ns));
+  *json += buf;
   *json += ", \"view_matches_reference\": ";
   *json += view_matches ? "true" : "false";
   *json += "}";
@@ -406,7 +484,7 @@ void AppendVariantJson(std::string* json, const VariantRun& run,
 
 int main(int argc, char** argv) {
   int folders = 12;
-  std::string out_path = "BENCH_PR3.json";
+  std::string out_path = "BENCH_PR4.json";
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--quick") {
@@ -434,7 +512,7 @@ int main(int argc, char** argv) {
                          index::Variant::kTcsbr};
 
   std::string json = "{\n  \"benchmark\": \"csxa_skip_navigation\",\n";
-  json += "  \"pr\": 3,\n";
+  json += "  \"pr\": 4,\n";
   json += "  \"config\": {\"folders\": " + std::to_string(folders) +
           ", \"document_bytes\": " + std::to_string(xml.size()) +
           ", \"chunk_size\": " + std::to_string(layout.chunk_size) +
@@ -519,6 +597,22 @@ int main(int argc, char** argv) {
                    sc.name.c_str(),
                    static_cast<unsigned long long>(tcs.wire_bytes),
                    static_cast<unsigned long long>(tc.wire_bytes));
+      ok = false;
+    }
+    // Batched-fetch gate (PR 4): the integrity protocol must not invert
+    // the cost model. TC — which streams everything — must stay within a
+    // handful of coalesced round trips and under raw NC's wire bytes
+    // (proofs amortized per chunk, not per request).
+    const VariantRun& nc = run_for(index::Variant::kNc);
+    if (sc.name == "closed_world" &&
+        (tc.requests > 40 || tc.wire_bytes >= nc.wire_bytes)) {
+      std::fprintf(stderr,
+                   "%s: batched fetch regressed on TC (%llu requests, "
+                   "wire %llu vs NC %llu)\n",
+                   sc.name.c_str(),
+                   static_cast<unsigned long long>(tc.requests),
+                   static_cast<unsigned long long>(tc.wire_bytes),
+                   static_cast<unsigned long long>(nc.wire_bytes));
       ok = false;
     }
   }

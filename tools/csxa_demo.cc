@@ -220,9 +220,19 @@ int Run(const Options& opt) {
     std::printf("\ncost model:\n");
     std::printf("  encoded document     %8llu bytes\n",
                 static_cast<unsigned long long>(pr.encoded_bytes));
-    std::printf("  terminal->SOE wire   %8llu bytes in %llu request(s)\n",
+    std::printf("  terminal->SOE wire   %8llu bytes in %llu batched "
+                "request(s), %llu segment(s)\n",
                 static_cast<unsigned long long>(pr.wire_bytes),
-                static_cast<unsigned long long>(pr.requests));
+                static_cast<unsigned long long>(pr.requests),
+                static_cast<unsigned long long>(pr.segments));
+    std::printf("  fetch planner        %8llu gap fragment(s) bridged, "
+                "%llu chunk read(s) served bare (digest cache: %llu "
+                "record(s), %llu hit(s), %llu eviction(s))\n",
+                static_cast<unsigned long long>(pr.gap_fragments_bridged),
+                static_cast<unsigned long long>(pr.bare_chunk_reads),
+                static_cast<unsigned long long>(pr.digest_cache.records),
+                static_cast<unsigned long long>(pr.digest_cache.bare_hits),
+                static_cast<unsigned long long>(pr.digest_cache.evictions));
     std::printf("  decrypted in SOE     %8llu bytes\n",
                 static_cast<unsigned long long>(pr.soe.bytes_decrypted));
     std::printf("  hashed in SOE        %8llu bytes\n",
