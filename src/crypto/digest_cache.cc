@@ -5,8 +5,11 @@
 namespace csxa::crypto {
 
 VerifiedDigestCache::VerifiedDigestCache(uint32_t fragments_per_chunk,
-                                         size_t capacity)
-    : frags_(fragments_per_chunk), levels_(1), capacity_(capacity) {
+                                         size_t capacity, uint32_t version)
+    : frags_(fragments_per_chunk),
+      levels_(1),
+      capacity_(capacity),
+      version_(version) {
   for (uint32_t w = frags_; w > 1; w /= 2) ++levels_;
 }
 
@@ -46,8 +49,8 @@ VerifiedDigestCache::Entry* VerifiedDigestCache::Obtain(uint64_t chunk) {
   } else {
     // Displace the least recently used *unpinned* entry (capacity is
     // small; a linear scan is cheaper than any index). Pinned chunks are
-    // the ones the in-flight batch's waivers and trimming hints depend
-    // on — evicting one mid-batch would fail an honest response.
+    // the ones in-flight batches' waivers and trimming hints depend on —
+    // evicting one mid-batch would fail an honest response.
     auto pinned = [this](uint64_t chunk) {
       return std::find(pinned_.begin(), pinned_.end(), chunk) !=
              pinned_.end();
@@ -90,11 +93,25 @@ void VerifiedDigestCache::FillIn(Entry* e) {
   }
 }
 
+void VerifiedDigestCache::Pin(const std::vector<uint64_t>& chunks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pinned_.insert(pinned_.end(), chunks.begin(), chunks.end());
+}
+
+void VerifiedDigestCache::Unpin(const std::vector<uint64_t>& chunks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint64_t chunk : chunks) {
+    auto it = std::find(pinned_.begin(), pinned_.end(), chunk);
+    if (it != pinned_.end()) pinned_.erase(it);
+  }
+}
+
 bool VerifiedDigestCache::CanVerifyBare(uint64_t chunk, uint32_t first,
                                         uint32_t last) const {
   // Pure probe: planner and fetcher may ask repeatedly while shaping one
   // batch, so hit/miss accounting happens at verification time
   // (RecordBareHit / the decryptor's material path), not here.
+  std::lock_guard<std::mutex> lock(mu_);
   const Entry* e = Find(chunk);
   if (e == nullptr || first > last || last >= frags_) return false;
   uint64_t lo = first, hi = last, width = frags_;
@@ -108,12 +125,20 @@ bool VerifiedDigestCache::CanVerifyBare(uint64_t chunk, uint32_t first,
   return true;
 }
 
-void VerifiedDigestCache::RecordBareHit() const { ++stats_.bare_hits; }
-void VerifiedDigestCache::RecordMiss() const { ++stats_.misses; }
+void VerifiedDigestCache::RecordBareHit() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.bare_hits;
+}
+
+void VerifiedDigestCache::RecordMiss() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.misses;
+}
 
 std::vector<ProofNode> VerifiedDigestCache::ProofFor(uint64_t chunk,
                                                      uint32_t first,
                                                      uint32_t last) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<ProofNode> proof;
   const Entry* e = Find(chunk);
   if (e == nullptr) return proof;
@@ -129,23 +154,34 @@ std::vector<ProofNode> VerifiedDigestCache::ProofFor(uint64_t chunk,
   return proof;
 }
 
-const Sha1Digest* VerifiedDigestCache::Root(uint64_t chunk) const {
+bool VerifiedDigestCache::Root(uint64_t chunk, Sha1Digest* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const Entry* e = Find(chunk);
-  return e == nullptr ? nullptr : &e->root;
+  if (e == nullptr) return false;
+  if (out != nullptr) *out = e->root;
+  return true;
 }
 
-const Sha1Digest* VerifiedDigestCache::Node(uint64_t chunk, int level,
-                                            uint64_t index) const {
+bool VerifiedDigestCache::RootKnown(uint64_t chunk) const {
+  return Root(chunk, nullptr);
+}
+
+bool VerifiedDigestCache::Node(uint64_t chunk, int level, uint64_t index,
+                               Sha1Digest* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const Entry* e = Find(chunk);
   if (e == nullptr || level < 0 || level >= levels_ ||
       index >= (uint64_t{frags_} >> level)) {
-    return nullptr;
+    return false;
   }
   size_t idx = NodeIndex(level, index);
-  return e->known[idx] ? &e->nodes[idx] : nullptr;
+  if (!e->known[idx]) return false;
+  if (out != nullptr) *out = e->nodes[idx];
+  return true;
 }
 
 uint64_t VerifiedDigestCache::KnownMask(uint64_t chunk) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const Entry* e = Find(chunk);
   if (e == nullptr || e->known.size() > 64) return 0;
   uint64_t mask = 0;
@@ -153,6 +189,28 @@ uint64_t VerifiedDigestCache::KnownMask(uint64_t chunk) const {
     if (e->known[i]) mask |= uint64_t{1} << i;
   }
   return mask;
+}
+
+uint64_t VerifiedDigestCache::MissingProofNodes(uint64_t chunk, uint32_t first,
+                                                uint32_t last) const {
+  // Same range guard as CanVerifyBare: a malformed range has no proof to
+  // price (and must not index past the entry's node table).
+  if (first > last || last >= frags_) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry* e = Find(chunk);
+  uint64_t missing = 0;
+  uint64_t lo = first, hi = last, width = frags_;
+  for (int level = 0; width > 1; ++level, lo /= 2, hi /= 2, width /= 2) {
+    if (lo % 2 == 1 &&
+        (e == nullptr || !e->known[NodeIndex(level, lo - 1)])) {
+      ++missing;
+    }
+    if (hi % 2 == 0 && hi + 1 < width &&
+        (e == nullptr || !e->known[NodeIndex(level, hi + 1)])) {
+      ++missing;
+    }
+  }
+  return missing;
 }
 
 uint64_t VerifiedDigestCache::FlatIndex(uint32_t fragments_per_chunk,
@@ -166,13 +224,19 @@ uint64_t VerifiedDigestCache::FlatIndex(uint32_t fragments_per_chunk,
   return off + index;
 }
 
+VerifiedDigestCache::Stats VerifiedDigestCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
 void VerifiedDigestCache::Record(uint64_t chunk, const Sha1Digest& root,
                                  uint32_t first,
                                  const std::vector<Sha1Digest>& leaves,
                                  const std::vector<ProofNode>& proof) {
   if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
   Entry* e = Obtain(chunk);
-  if (e == nullptr) return;  // Every slot pinned by the in-flight batch.
+  if (e == nullptr) return;  // Every slot pinned by in-flight batches.
   e->root = root;
   e->nodes[NodeIndex(levels_ - 1, 0)] = root;
   e->known[NodeIndex(levels_ - 1, 0)] = 1;

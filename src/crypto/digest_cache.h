@@ -2,6 +2,7 @@
 #define CSXA_CRYPTO_DIGEST_CACHE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "crypto/merkle.h"
@@ -29,11 +30,23 @@ namespace csxa::crypto {
 /// dozen entries (one entry is ~2·m hashes for m fragments per chunk), so
 /// the SOE memory bound is respected; eviction only costs a fallback to
 /// the classic proof-carrying read.
+///
+/// Sharing across serves: every method is internally synchronized, so one
+/// cache instance can back many concurrent sessions of the *same document
+/// version* — whoever verifies a chunk first pays the material transfer,
+/// everyone else reads bare. One instance is bound to exactly one
+/// (document, version) pair (`version()`); a version bump means a fresh
+/// instance, never a flush, so stale-version hashes can never vouch for
+/// bumped content (replay protection is the decryptor's version check plus
+/// this keying). Sharing leaks nothing between subjects: cached hashes
+/// authenticate ciphertext the terminal already serves to anyone.
 class VerifiedDigestCache {
  public:
   /// `fragments_per_chunk` must be the layout's (power-of-two) value.
   /// `capacity` 0 disables the cache entirely (every lookup misses).
-  VerifiedDigestCache(uint32_t fragments_per_chunk, size_t capacity);
+  /// `version` stamps the document version this instance vouches for.
+  VerifiedDigestCache(uint32_t fragments_per_chunk, size_t capacity,
+                      uint32_t version = 0);
 
   /// True when the cache holds every sibling hash a proof for leaves
   /// [first, last] of `chunk` would contain, plus the root — i.e. the
@@ -45,17 +58,29 @@ class VerifiedDigestCache {
   std::vector<ProofNode> ProofFor(uint64_t chunk, uint32_t first,
                                   uint32_t last) const;
 
-  /// The authenticated root of `chunk`, or nullptr when not cached.
-  const Sha1Digest* Root(uint64_t chunk) const;
+  /// Copies the authenticated root of `chunk` into `*out`; false when the
+  /// chunk is not cached. (By value: a pointer into an entry could dangle
+  /// the moment another serve's Record() evicts it.)
+  bool Root(uint64_t chunk, Sha1Digest* out) const;
+  bool RootKnown(uint64_t chunk) const;
 
-  /// The cached node at (level, index), or nullptr when unknown.
-  const Sha1Digest* Node(uint64_t chunk, int level, uint64_t index) const;
+  /// Copies the cached node at (level, index); false when unknown.
+  bool Node(uint64_t chunk, int level, uint64_t index, Sha1Digest* out) const;
 
   /// Bitmask of known nodes (bit = FlatIndex(level, index)), for the
   /// proof-trimming hint of a BatchRequest: the terminal omits every
   /// sibling hash the SOE already holds. 0 when the chunk is uncached or
   /// the tree exceeds 64 nodes (no trimming, only wasted wire).
   uint64_t KnownMask(uint64_t chunk) const;
+
+  /// Number of sibling hashes a proof for fragments [first, last] of
+  /// `chunk` would have to *ship* given what is already cached: the full
+  /// ProofForRange count on a cold chunk, only the unknown nodes on a warm
+  /// one, 0 when the range verifies bare. The fetch planner's proof-cost
+  /// probe — its chunk-completion arithmetic must price the post-trimming
+  /// wire, not the cold-cache worst case.
+  uint64_t MissingProofNodes(uint64_t chunk, uint32_t first,
+                             uint32_t last) const;
 
   /// Level-major flat index shared by KnownMask and the terminal's
   /// trimming: leaves first, then each level up, root last.
@@ -64,21 +89,42 @@ class VerifiedDigestCache {
 
   /// Scoped pin: while alive, the named chunks cannot be evicted (a
   /// Record() of a new chunk that would displace a pinned entry becomes a
-  /// no-op instead). DecryptVerifiedBatch pins every chunk whose material
-  /// the request waived or trimmed, so mid-batch insertions can never
-  /// invalidate claims the request was built on.
+  /// no-op instead). The fetcher pins every chunk of a batch before
+  /// probing the cache for waivers/trimming hints, so no concurrent
+  /// serve's insertions can invalidate claims between request-building and
+  /// verification. Pins from concurrent scopes accumulate (multiset).
+  /// Movable so a batch can carry its pin across the round trip.
   class PinScope {
    public:
+    PinScope() = default;
     PinScope(VerifiedDigestCache* cache, std::vector<uint64_t> chunks)
-        : cache_(cache) {
-      cache_->pinned_ = std::move(chunks);
+        : cache_(cache), chunks_(std::move(chunks)) {
+      if (cache_ != nullptr) cache_->Pin(chunks_);
     }
-    ~PinScope() { cache_->pinned_.clear(); }
+    ~PinScope() { Release(); }
+    PinScope(PinScope&& other) noexcept
+        : cache_(other.cache_), chunks_(std::move(other.chunks_)) {
+      other.cache_ = nullptr;
+    }
+    PinScope& operator=(PinScope&& other) noexcept {
+      if (this != &other) {
+        Release();
+        cache_ = other.cache_;
+        chunks_ = std::move(other.chunks_);
+        other.cache_ = nullptr;
+      }
+      return *this;
+    }
     PinScope(const PinScope&) = delete;
     PinScope& operator=(const PinScope&) = delete;
 
    private:
-    VerifiedDigestCache* cache_;
+    void Release() {
+      if (cache_ != nullptr) cache_->Unpin(chunks_);
+      cache_ = nullptr;
+    }
+    VerifiedDigestCache* cache_ = nullptr;
+    std::vector<uint64_t> chunks_;
   };
 
   /// Records authenticated material after a successful verification: the
@@ -96,13 +142,17 @@ class VerifiedDigestCache {
     uint64_t records = 0;      ///< Verified chunks recorded.
     uint64_t evictions = 0;    ///< LRU entries displaced.
   };
-  const Stats& stats() const { return stats_; }
+  /// Snapshot (by value: the shared instance keeps mutating).
+  Stats stats() const;
   size_t capacity() const { return capacity_; }
+  uint32_t version() const { return version_; }
   /// Verification-time accounting (CanVerifyBare itself is a pure probe).
   void RecordBareHit() const;
   void RecordMiss() const;
 
  private:
+  friend class PinScope;
+
   struct Entry {
     uint64_t chunk = 0;
     mutable uint64_t last_use = 0;  ///< LRU clock; touched on const reads.
@@ -113,6 +163,10 @@ class VerifiedDigestCache {
     std::vector<uint8_t> known;
   };
 
+  void Pin(const std::vector<uint64_t>& chunks);
+  void Unpin(const std::vector<uint64_t>& chunks);
+
+  // Lock-held internals (mu_ must be held by the caller).
   size_t NodeIndex(int level, uint64_t index) const;
   const Entry* Find(uint64_t chunk) const;
   /// Find or insert-with-eviction; nullptr when every evictable slot is
@@ -123,9 +177,11 @@ class VerifiedDigestCache {
   uint32_t frags_;
   int levels_;  ///< log2(frags_) + 1.
   size_t capacity_;
+  uint32_t version_;
+  mutable std::mutex mu_;
   mutable uint64_t clock_ = 0;
   std::vector<Entry> entries_;
-  std::vector<uint64_t> pinned_;  ///< Chunks shielded from eviction.
+  std::vector<uint64_t> pinned_;  ///< Multiset of chunks shielded from eviction.
   mutable Stats stats_;
 };
 

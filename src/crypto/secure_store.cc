@@ -287,13 +287,25 @@ void SecureDocumentStore::ReplayChunkFrom(const SecureDocumentStore& old,
 SoeDecryptor::SoeDecryptor(const TripleDes::Key& key, ChunkLayout layout,
                            uint64_t plaintext_size, uint64_t chunk_count,
                            uint32_t expected_version,
-                           size_t digest_cache_capacity)
+                           size_t digest_cache_capacity,
+                           std::shared_ptr<VerifiedDigestCache> shared_cache)
     : cipher_(key),
       layout_(layout),
       plaintext_size_(plaintext_size),
       chunk_count_(chunk_count),
-      expected_version_(expected_version),
-      cache_(layout.fragments_per_chunk(), digest_cache_capacity) {}
+      expected_version_(expected_version) {
+  // A shared cache vouching for a different document version must never be
+  // consulted: its hashes authenticate that version's ciphertext, and
+  // accepting them here would undo the replay protection the version check
+  // provides. Fall back to a private cache (costs wire, never trust).
+  if (shared_cache != nullptr && shared_cache->version() == expected_version) {
+    cache_ = std::move(shared_cache);
+  } else {
+    cache_ = std::make_shared<VerifiedDigestCache>(
+        layout.fragments_per_chunk(), digest_cache_capacity,
+        expected_version);
+  }
+}
 
 Status SoeDecryptor::VerifyChunkAgainstMaterial(
     const RangeResponse::ChunkMaterial& mat, uint64_t chunk,
@@ -315,8 +327,10 @@ Status SoeDecryptor::VerifyChunkAgainstMaterial(
         for (const ProofNode& node : proof) {
           if (node.level == level && node.index == idx) return;
         }
-        const Sha1Digest* cached = cache_.Node(chunk, level, idx);
-        if (cached != nullptr) proof.push_back({level, idx, *cached});
+        Sha1Digest cached;
+        if (cache_->Node(chunk, level, idx, &cached)) {
+          proof.push_back({level, idx, cached});
+        }
       };
       if (lo % 2 == 1) supply(lo - 1);
       if (hi % 2 == 0 && hi + 1 < width) supply(hi + 1);
@@ -333,12 +347,12 @@ Status SoeDecryptor::VerifyChunkAgainstMaterial(
   if (mat.encrypted_digest.empty()) {
     // Digest waived (root_known hint): the recomputed root must match the
     // root authenticated earlier, or the terminal tampered with the bytes.
-    const Sha1Digest* cached_root = cache_.Root(chunk);
-    if (cached_root == nullptr || *cached_root != root.value()) {
+    Sha1Digest cached_root;
+    if (!cache_->Root(chunk, &cached_root) || cached_root != root.value()) {
       return Status::IntegrityError(
           "chunk digest mismatch (tampered data?)");
     }
-    cache_.Record(chunk, root.value(), mat.first_fragment, leaves, proof);
+    cache_->Record(chunk, root.value(), mat.first_fragment, leaves, proof);
     return Status::OK();
   }
   if (mat.encrypted_digest.size() != 24) {
@@ -348,18 +362,22 @@ Status SoeDecryptor::VerifyChunkAgainstMaterial(
   // batch: against the cache (already authenticated under this version),
   // against the batch memo, or — first touch — by decrypting the shipped
   // ChunkDigest and checking the bound index and version.
-  const Sha1Digest* known_root = cache_.Root(chunk);
-  if (known_root == nullptr) cache_.RecordMiss();
-  if (known_root == nullptr && digest_memo != nullptr) {
-    for (const auto& [memo_chunk, memo_root] : *digest_memo) {
-      if (memo_chunk == chunk) {
-        known_root = &memo_root;
-        break;
+  Sha1Digest known_root;
+  bool root_known = cache_->Root(chunk, &known_root);
+  if (!root_known) {
+    cache_->RecordMiss();
+    if (digest_memo != nullptr) {
+      for (const auto& [memo_chunk, memo_root] : *digest_memo) {
+        if (memo_chunk == chunk) {
+          known_root = memo_root;
+          root_known = true;
+          break;
+        }
       }
     }
   }
-  if (known_root != nullptr) {
-    if (*known_root != root.value()) {
+  if (root_known) {
+    if (known_root != root.value()) {
       return Status::IntegrityError("chunk digest mismatch (tampered data?)");
     }
   } else {
@@ -389,7 +407,7 @@ Status SoeDecryptor::VerifyChunkAgainstMaterial(
   }
   // Everything that entered the (successful) root recomputation is now as
   // authentic as the digest: remember it for bare re-reads.
-  cache_.Record(chunk, root.value(), mat.first_fragment, leaves, mat.proof);
+  cache_->Record(chunk, root.value(), mat.first_fragment, leaves, mat.proof);
   return Status::OK();
 }
 
@@ -515,7 +533,7 @@ Status SoeDecryptor::DecryptVerifiedBatch(const BatchRequest& request,
   for (const BatchRequest::ChunkHint& hint : request.hints) {
     claimed.push_back(hint.chunk);
   }
-  VerifiedDigestCache::PinScope pin(&cache_, std::move(claimed));
+  VerifiedDigestCache::PinScope pin(cache_.get(), std::move(claimed));
 
   // Phase 1 — verify every segment's chunks before releasing any byte.
   std::vector<std::pair<uint64_t, Sha1Digest>> digest_memo;
@@ -568,22 +586,22 @@ Status SoeDecryptor::DecryptVerifiedBatch(const BatchRequest& request,
         // fresh leaves with the cached (authenticated) sibling hashes and
         // compare against the cached root — a tampered re-read diverges
         // right here.
-        const Sha1Digest* known_root = cache_.Root(c);
-        if (known_root == nullptr) {
+        Sha1Digest known_root;
+        if (!cache_->Root(c, &known_root)) {
           return Status::IntegrityError(
               "bare chunk not present in digest cache");
         }
-        std::vector<ProofNode> proof = cache_.ProofFor(c, first, last);
+        std::vector<ProofNode> proof = cache_->ProofFor(c, first, last);
         Result<Sha1Digest> root = MerkleTree::RootFromRange(
             layout_.fragments_per_chunk(), first, last, leaves, proof);
-        if (!root.ok() || root.value() != *known_root) {
+        if (!root.ok() || root.value() != known_root) {
           return Status::IntegrityError(
               "re-read failed verification against cached digest "
               "(tampered data?)");
         }
         counters_.hash_combines += proof.size() + leaves.size();
-        cache_.RecordBareHit();
-        cache_.Record(c, *known_root, first, leaves, proof);
+        cache_->RecordBareHit();
+        cache_->Record(c, known_root, first, leaves, proof);
       } else {
         if (mat_index >= response.chunks.size()) {
           return Status::IntegrityError("missing integrity material for chunk");

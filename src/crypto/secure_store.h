@@ -2,6 +2,7 @@
 #define CSXA_CRYPTO_SECURE_STORE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
@@ -114,11 +115,22 @@ struct BatchResponse {
   uint64_t WireBytes() const;
 };
 
+/// The terminal round-trip endpoint of the batched protocol, abstracted so
+/// an SOE-side fetcher need not hold a direct pointer to one immutable
+/// store: a server's document entry implements this by forwarding to its
+/// *current* store behind a lock, which is what makes a version bump
+/// visible (and rejectable) to sessions opened before it.
+class BatchSource {
+ public:
+  virtual ~BatchSource() = default;
+  virtual Result<BatchResponse> ReadBatch(const BatchRequest& request) const = 0;
+};
+
 /// Terminal-side store of an encrypted document: position-mixed 3DES-ECB
 /// ciphertext plus one encrypted Merkle ChunkDigest per chunk. The terminal
 /// needs no key; it only stores and serves. Tampering hooks let tests
 /// emulate the attacks of Section 6.
-class SecureDocumentStore {
+class SecureDocumentStore : public BatchSource {
  public:
   /// Encrypts `plaintext` (zero-padded to a block) and builds the chunk
   /// digests. The ChunkDigest binds the chunk index (preventing whole-chunk
@@ -145,7 +157,7 @@ class SecureDocumentStore {
   /// Serves a coalesced batch of fragment-aligned runs in one round trip
   /// (see BatchRequest/BatchResponse). Integrity material is emitted per
   /// chunk, not per run, and suppressed for the chunks the request waived.
-  Result<BatchResponse> ReadBatch(const BatchRequest& request) const;
+  Result<BatchResponse> ReadBatch(const BatchRequest& request) const override;
 
   /// -- Attack emulation (tests) --------------------------------------
   /// Flips bits of one ciphertext byte (random modification attack).
@@ -178,10 +190,17 @@ class SoeDecryptor {
   /// version is rejected as a replayed stale state.
   /// `digest_cache_capacity` bounds the verified-digest cache (entries,
   /// i.e. chunks); 0 disables bare re-reads entirely.
+  /// `shared_cache`, when set, replaces the private per-serve cache with a
+  /// cross-serve shared one (the crypto layer holds it behind this handle
+  /// only): it must be stamped with `expected_version` — a mismatch would
+  /// let one version's authenticated hashes vouch for another's bytes, so
+  /// the constructor falls back to a private cache in that case
+  /// (fail-safe: wire cost, never trust).
   SoeDecryptor(const TripleDes::Key& key, ChunkLayout layout,
                uint64_t plaintext_size, uint64_t chunk_count,
                uint32_t expected_version = 0,
-               size_t digest_cache_capacity = kDefaultDigestCacheCapacity);
+               size_t digest_cache_capacity = kDefaultDigestCacheCapacity,
+               std::shared_ptr<VerifiedDigestCache> shared_cache = nullptr);
 
   static constexpr size_t kDefaultDigestCacheCapacity = 32;
 
@@ -195,14 +214,30 @@ class SoeDecryptor {
   /// integrity material — the fetcher uses this to waive chunks in a
   /// BatchRequest.
   bool CanVerifyBare(uint64_t chunk, uint32_t first, uint32_t last) const {
-    return cache_.CanVerifyBare(chunk, first, last);
+    return cache_->CanVerifyBare(chunk, first, last);
   }
 
   /// Proof-trimming hint for `chunk` (see BatchRequest::ChunkHint): which
   /// tree nodes the cache already holds, and whether the root itself is
   /// authenticated (digest transfer and decryption can be waived).
   BatchRequest::ChunkHint CacheHintFor(uint64_t chunk) const {
-    return {chunk, cache_.KnownMask(chunk), cache_.Root(chunk) != nullptr};
+    return {chunk, cache_->KnownMask(chunk), cache_->RootKnown(chunk)};
+  }
+
+  /// Sibling hashes a proof for fragments [first, last] of `chunk` would
+  /// still have to ship given the cache (the planner's proof-cost probe).
+  uint64_t MissingProofNodes(uint64_t chunk, uint32_t first,
+                             uint32_t last) const {
+    return cache_->MissingProofNodes(chunk, first, last);
+  }
+
+  /// Pins `chunks` against eviction for the guard's lifetime. The fetcher
+  /// pins every chunk of a batch *before* probing for waivers and
+  /// trimming hints: with the cache shared across serves, a concurrent
+  /// session's Record() could otherwise evict an entry between the probe
+  /// and the verification that depends on it, failing an honest response.
+  VerifiedDigestCache::PinScope PinChunks(std::vector<uint64_t> chunks) {
+    return VerifiedDigestCache::PinScope(cache_.get(), std::move(chunks));
   }
 
   /// Verifies and decrypts a whole batch: each segment's chunks are
@@ -226,9 +261,8 @@ class SoeDecryptor {
     uint64_t hash_ns = 0;           ///< Wall clock inside SHA-1 hashing.
   };
   const Counters& counters() const { return counters_; }
-  const VerifiedDigestCache::Stats& cache_stats() const {
-    return cache_.stats();
-  }
+  /// Snapshot: with a shared cache these are cross-serve aggregates.
+  VerifiedDigestCache::Stats cache_stats() const { return cache_->stats(); }
 
   /// Computes what a chunk's encrypted digest must be; exposed so that
   /// Build and tests share one definition. The 24-byte plaintext is the
@@ -255,7 +289,9 @@ class SoeDecryptor {
   uint64_t plaintext_size_;
   uint64_t chunk_count_;
   uint32_t expected_version_;
-  VerifiedDigestCache cache_;
+  /// Private per-serve cache, or a handle on the service's shared one —
+  /// same trust chain either way (writes happen only post-verification).
+  std::shared_ptr<VerifiedDigestCache> cache_;
   Counters counters_;
 };
 

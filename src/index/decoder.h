@@ -42,6 +42,10 @@ class Fetcher {
   /// round prefetches to it so a batched read never straddles a unit the
   /// fetcher already holds.
   virtual uint64_t preferred_alignment() const { return 1; }
+  /// Plaintext bytes this fetcher has materialized so far; deltas around a
+  /// deferral splice give the honest re-read cost (bytes actually pulled,
+  /// not bytes re-decoded — boundary fragments already held are free).
+  virtual uint64_t bytes_fetched() const { return 0; }
 };
 
 /// Byte interval [begin, end) of the encoded document that was actually

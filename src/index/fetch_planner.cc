@@ -1,6 +1,8 @@
 #include "index/fetch_planner.h"
 
 #include <algorithm>
+#include <map>
+#include <utility>
 
 namespace csxa::index {
 
@@ -15,7 +17,13 @@ FetchPlanner::FetchPlanner(uint64_t document_bytes, uint32_t fragment_size,
                          : options.gap_threshold_bytes),
       max_batch_(options.max_batch_bytes == 0 ? uint64_t{4} * chunk_size
                                               : options.max_batch_bytes),
-      marks_(fragment_count_, Mark::kUnknown) {}
+      marks_(fragment_count_, Mark::kUnknown),
+      planned_(fragment_count_, 0) {}
+
+uint64_t FetchPlanner::FragmentBytes(uint64_t f) const {
+  return std::min<uint64_t>(fragment_size_,
+                            document_bytes_ - f * fragment_size_);
+}
 
 void FetchPlanner::HintWanted(uint64_t begin, uint64_t end) {
   end = std::min(end, document_bytes_);
@@ -24,12 +32,24 @@ void FetchPlanner::HintWanted(uint64_t begin, uint64_t end) {
   // Outward rounding: a partially wanted fragment is fetched whole anyway.
   uint64_t first = begin / fragment_size_;
   uint64_t last = (end - 1) / fragment_size_;
-  for (uint64_t f = first; f <= last; ++f) marks_[f] = Mark::kWanted;
+  for (uint64_t f = first; f <= last; ++f) {
+    // Re-promising a cancelled range (a granted deferral) takes its bytes
+    // back out of the fallback's avoidance ledger.
+    if (marks_[f] == Mark::kExcluded && !planned_[f]) {
+      avoided_bytes_ -= FragmentBytes(f);
+    }
+    marks_[f] = Mark::kWanted;
+  }
 }
 
 void FetchPlanner::HintExcluded(uint64_t begin, uint64_t end) {
   end = std::min(end, document_bytes_);
   if (begin >= end) return;
+  // Once the fallback proved skipping a net loss, exclusions are ignored:
+  // the navigator still jumps the subtrees, but the wire streams whole
+  // chunks with empty proofs — cancelling ranges again would only re-open
+  // the hole-vs-proof bleed the fallback just stopped.
+  if (stream_all_fallback_) return;
   ++stats_.hints_excluded;
   // Skip evidence: stop speculating — a skip-dense region must page
   // conservatively or the readahead re-fetches what skipping just saved.
@@ -38,12 +58,27 @@ void FetchPlanner::HintExcluded(uint64_t begin, uint64_t end) {
   // (the element's own header before the subtree, its close marker after).
   uint64_t first = (begin + fragment_size_ - 1) / fragment_size_;
   uint64_t last_end = end / fragment_size_;  // exclusive
-  for (uint64_t f = first; f < last_end; ++f) marks_[f] = Mark::kExcluded;
+  uint64_t wasted_frags = 0;
+  for (uint64_t f = first; f < last_end; ++f) {
+    if (marks_[f] == Mark::kExcluded) continue;
+    // An exclusion over a fragment some batch actually emitted cancels
+    // bytes speculation already paid for: that part of the skip saved
+    // nothing. (Holes below the frontier were never fetched — not waste;
+    // they enter the fallback's avoidance ledger instead.)
+    if (planned_[f]) {
+      ++wasted_frags;
+    } else {
+      avoided_bytes_ += FragmentBytes(f);
+    }
+    marks_[f] = Mark::kExcluded;
+  }
+  stats_.speculation_waste_bytes += wasted_frags * fragment_size_;
 }
 
 void FetchPlanner::HintStreamAll() {
   ++stats_.hints_wanted;
   std::fill(marks_.begin(), marks_.end(), Mark::kWanted);
+  avoided_bytes_ = 0;
 }
 
 namespace {
@@ -65,7 +100,7 @@ constexpr uint64_t kHashBytes = 20;  // SHA-1 proof node on the wire.
 
 std::vector<FragmentRun> FetchPlanner::Plan(uint64_t begin, uint64_t end,
                                             const std::vector<bool>& valid,
-                                            const BareProbe& bare_probe) {
+                                            const ProofCostProbe& proof_cost) {
   std::vector<FragmentRun> runs;
   end = std::min(end, document_bytes_);
   if (begin >= end) return runs;
@@ -75,6 +110,28 @@ std::vector<FragmentRun> FetchPlanner::Plan(uint64_t begin, uint64_t end,
   uint64_t first_missing = d0;
   while (first_missing <= d1 && valid[first_missing]) ++first_missing;
   if (first_missing > d1) return runs;  // Demand already held.
+
+  // Stream-all fallback: skipping has to *pay for itself*. Every hole a
+  // skip leaves in a chunk's coverage forces sibling hashes onto the wire
+  // that whole-chunk streaming would never ship; when the hashes paid so
+  // far outweigh the ciphertext actually avoided (exclusions usually
+  // arrive after readahead already fetched part of the subtree), the serve
+  // is strictly worse off than full streaming — flip to stream-all for
+  // the rest. Checked against *realized* numbers, not projections, so
+  // workloads whose prunes span chunks (where skipping wins big) never
+  // come close to flipping. The minimum-exclusions threshold keeps the
+  // verdict out of transient windows: right after a granted deferral is
+  // re-promised, "avoided" legitimately dips to near zero although the
+  // deferral strategy's savings (the *denied* subtrees) are still ahead.
+  constexpr uint64_t kMinExclusionsForFallback = 6;
+  if (!stream_all_fallback_ &&
+      stats_.hints_excluded >= kMinExclusionsForFallback &&
+      proof_overhead_bytes_ > avoided_bytes_) {
+    stream_all_fallback_ = true;
+    ++stats_.stream_all_fallbacks;
+    std::fill(marks_.begin(), marks_.end(), Mark::kWanted);
+    avoided_bytes_ = 0;
+  }
 
   // Adaptive window: a demand that continues exactly where the last batch
   // ended is sequential streaming — speculate twice as far as last time
@@ -145,64 +202,118 @@ std::vector<FragmentRun> FetchPlanner::Plan(uint64_t begin, uint64_t end,
     }
   }
 
-  // Pass 3 — proof-aware chunk completion: if a chunk's planned coverage
-  // is partial, the batch must carry a sibling-hash set for it (unless the
-  // digest cache already authenticates the covered ranges). When the
-  // chunk's missing-but-fetchable bytes cost less than those hashes,
-  // fetch them instead: full coverage ships an empty proof.
+  // Pass 3 — proof-aware coverage shaping, per chunk. Every hole in a
+  // chunk's planned coverage costs sibling hashes on the wire; every fill
+  // costs the hole's ciphertext. Price both with the digest-cache probe
+  // (post-trimming: already-cached hashes ship regardless of shape — for
+  // free) and keep the cheaper coverage. Greedy hole-by-hole first, then
+  // whole-chunk completion (which also captures edge extension and
+  // multi-hole combinations the greedy step prices individually).
   for (uint64_t cf = base; cf < extent; cf += frags_per_chunk) {
     const uint64_t ce = std::min(extent, cf + frags_per_chunk);
-    uint64_t covered = 0, missing_bytes = 0, proof_nodes = 0;
-    bool has_valid = false, all_bare = true;
-    // Walk the chunk's covered ranges, summing per-range proofs.
-    uint64_t range_start = UINT64_MAX;
-    auto close_range = [&](uint64_t range_end_excl) {
-      if (range_start == UINT64_MAX) return;
-      proof_nodes += ProofNodeCount(frags_per_chunk,
-                                    range_start - cf,
-                                    range_end_excl - 1 - cf);
-      if (all_bare && bare_probe != nullptr) {
-        all_bare = bare_probe(cf / frags_per_chunk,
-                              static_cast<uint32_t>(range_start - cf),
-                              static_cast<uint32_t>(range_end_excl - 1 - cf));
-      } else if (bare_probe == nullptr) {
-        all_bare = false;
+    const uint64_t chunk = cf / frags_per_chunk;
+
+    // Wire bytes of the sibling hashes the chunk's current coverage would
+    // ship (only genuinely new hashes when the probe is set). The greedy
+    // loop below prices the same ranges repeatedly — memoize per chunk so
+    // the (shared, mutex-guarded) cache probe runs once per distinct
+    // range instead of once per candidate evaluation.
+    std::map<std::pair<uint64_t, uint64_t>, uint64_t> cost_memo;
+    auto range_cost = [&](uint64_t first, uint64_t last) -> uint64_t {
+      auto [it, fresh] = cost_memo.try_emplace({first, last}, 0);
+      if (fresh) {
+        const uint64_t nodes =
+            proof_cost != nullptr
+                ? proof_cost(chunk, static_cast<uint32_t>(first - cf),
+                             static_cast<uint32_t>(last - cf))
+                : ProofNodeCount(frags_per_chunk, first - cf, last - cf);
+        it->second = nodes * kHashBytes;
       }
-      range_start = UINT64_MAX;
+      return it->second;
     };
-    for (uint64_t f = cf; f < ce; ++f) {
-      if (valid[f]) has_valid = true;
-      if (inc(f)) {
-        ++covered;
-        if (range_start == UINT64_MAX) range_start = f;
-      } else {
-        close_range(f);
-        if (!valid[f]) {
-          missing_bytes += std::min<uint64_t>(
-              fragment_size_, document_bytes_ - f * fragment_size_);
+    auto coverage_cost = [&]() -> uint64_t {
+      uint64_t cost = 0, range_start = UINT64_MAX;
+      for (uint64_t f = cf; f < ce; ++f) {
+        if (inc(f)) {
+          if (range_start == UINT64_MAX) range_start = f;
+        } else if (range_start != UINT64_MAX) {
+          cost += range_cost(range_start, f - 1);
+          range_start = UINT64_MAX;
         }
       }
+      if (range_start != UINT64_MAX) cost += range_cost(range_start, ce - 1);
+      return cost;
+    };
+    auto actual_bytes = [&](uint64_t first, uint64_t last) -> uint64_t {
+      const uint64_t b = first * fragment_size_;
+      const uint64_t e = std::min((last + 1) * fragment_size_,
+                                  document_bytes_);
+      return e > b ? e - b : 0;
+    };
+
+    bool any_included = false, any_valid_in_chunk = false;
+    uint64_t missing_bytes = 0;
+    for (uint64_t f = cf; f < ce; ++f) {
+      any_included |= inc(f);
+      any_valid_in_chunk |= valid[f];
+      if (!inc(f) && !valid[f]) missing_bytes += actual_bytes(f, f);
     }
-    close_range(ce);
-    if (covered == 0 || missing_bytes == 0 || has_valid || all_bare) {
-      continue;  // Untouched, already complete, unmergeable, or material-free.
+    if (!any_included || missing_bytes == 0) continue;
+
+    // Greedy: fill any maximal hole (run of unplanned, unheld fragments)
+    // whose ciphertext costs no more than the proof hashes it removes.
+    // Valid fragments bound holes — they can never be re-fetched.
+    uint64_t cost_before = coverage_cost();
+    bool filled = true;
+    while (filled && cost_before > 0) {
+      filled = false;
+      for (uint64_t f = cf; f < ce; ++f) {
+        if (inc(f) || valid[f]) continue;
+        uint64_t h1 = f;
+        while (h1 + 1 < ce && !inc(h1 + 1) && !valid[h1 + 1]) ++h1;
+        const uint64_t hole_bytes = actual_bytes(f, h1);
+        for (uint64_t g = f; g <= h1; ++g) include[g - base] = 1;
+        const uint64_t cost_after = coverage_cost();
+        if (cost_before >= cost_after &&
+            cost_before - cost_after >= hole_bytes && hole_bytes > 0) {
+          cost_before = cost_after;
+          stats_.proof_holes_filled += 1;
+          filled = true;
+        } else {
+          for (uint64_t g = f; g <= h1; ++g) include[g - base] = 0;
+        }
+        f = h1;
+      }
     }
-    // What completion actually saves is the proof *delta*: an interior
-    // chunk drops to an empty proof, but a truncated tail chunk keeps
-    // its EmptyLeaf-padding siblings even at full byte coverage.
-    const uint64_t proof_after =
-        ProofNodeCount(frags_per_chunk, 0, ce - cf - 1);
-    const uint64_t saved =
-        proof_nodes > proof_after ? proof_nodes - proof_after : 0;
-    if (missing_bytes <= saved * kHashBytes) {
-      for (uint64_t f = cf; f < ce; ++f) include[f - base] = 1;
-      stats_.chunks_completed += 1;
+    // Whole-chunk completion: combinations of holes (and edge gaps) can
+    // be jointly profitable where each alone is not — full coverage
+    // collapses the proof to the EmptyLeaf padding of a tail chunk, or to
+    // nothing. Only when no held fragment forbids the merge.
+    if (!any_valid_in_chunk) {
+      uint64_t still_missing = 0;
+      for (uint64_t f = cf; f < ce; ++f) {
+        if (!inc(f)) still_missing += actual_bytes(f, f);
+      }
+      if (still_missing > 0) {
+        const uint64_t cost_full = range_cost(cf, ce - 1);
+        if (cost_before >= cost_full &&
+            cost_before - cost_full >= still_missing) {
+          for (uint64_t f = cf; f < ce; ++f) include[f - base] = 1;
+          stats_.chunks_completed += 1;
+        }
+      }
     }
   }
 
   // Emit maximal included runs.
   for (uint64_t f = base; f < extent; ++f) {
     if (!inc(f)) continue;
+    // An excluded fragment the batch fetches anyway (bridged, hole-filled
+    // or demanded outright) stops being avoided ciphertext.
+    if (marks_[f] == Mark::kExcluded && !planned_[f]) {
+      avoided_bytes_ -= FragmentBytes(f);
+    }
+    planned_[f] = 1;
     if (!runs.empty() && runs.back().end_frag == f) {
       runs.back().end_frag = f + 1;
     } else {

@@ -57,11 +57,27 @@ struct FragmentRun {
 /// the readahead window doubles — so a run that never skips converges to
 /// maximal chunk-aligned batches, indistinguishable from a planned
 /// stream-all read, with empty Merkle proofs (full-chunk coverage needs no
-/// siblings). The moment the skip oracle cancels a range, the window
-/// collapses to zero: a skip-dense region pages conservatively and keeps
-/// the skip savings intact. Once the window spans at least a chunk, batch
-/// ends snap outward to chunk boundaries so whole-chunk coverage (and the
-/// empty proof that comes with it) is the common case.
+/// siblings). Once the window spans at least a chunk, batch ends snap
+/// outward to chunk boundaries so whole-chunk coverage (and the empty
+/// proof that comes with it) is the common case.
+///
+/// The moment the skip oracle cancels a range, the window collapses to
+/// zero: a skip-dense region pages conservatively and keeps the skip
+/// savings intact.
+///
+/// Skipping also has to *pay for itself* — the stream-all fallback. Every
+/// hole a skip leaves in a chunk's coverage forces sibling hashes onto the
+/// wire that whole-chunk streaming would never ship, and exclusions often
+/// arrive after readahead already fetched part of the subtree (the saving
+/// shrinks, the proof overhead stays). The planner therefore compares two
+/// realized quantities every batch: proof bytes actually shipped (fed back
+/// by the fetcher via ReportProofBytes) against ciphertext actually
+/// avoided (excluded fragments never fetched). When the overhead
+/// overtakes the avoidance, the serve is strictly worse off than full
+/// streaming — it flips to stream-all for the rest: the navigator still
+/// jumps subtrees, but the wire moves whole chunks with empty proofs.
+/// Workloads whose prunes span chunks (where the Skip index wins big)
+/// keep avoidance far ahead of overhead and never flip.
 ///
 /// Demands always win: the fragments of the demanded range are planned
 /// regardless of classification (the navigator's reads are ground truth).
@@ -86,11 +102,18 @@ class FetchPlanner {
   /// skipping disabled): everything becomes wanted.
   void HintStreamAll();
 
-  /// Answers whether the SOE can verify fragments [first, last] of a
-  /// chunk with no shipped material (digest-cache probe). Used by the
-  /// proof-aware completion below; may be null.
-  using BareProbe =
-      std::function<bool(uint64_t chunk, uint32_t first, uint32_t last)>;
+  /// Feedback from the fetcher after each batch: how many proof-hash
+  /// bytes the response actually carried. Drives the stream-all fallback
+  /// (see class comment).
+  void ReportProofBytes(uint64_t bytes) { proof_overhead_bytes_ += bytes; }
+
+  /// Number of sibling hashes a Merkle proof for fragments [first, last]
+  /// of `chunk` would have to *ship*, given what the SOE's verified-digest
+  /// cache already holds (0 when the range verifies bare, the full
+  /// ProofForRange count when the chunk is cold). Used by the proof-aware
+  /// coverage shaping below; may be null (cold-cache estimate).
+  using ProofCostProbe =
+      std::function<uint64_t(uint64_t chunk, uint32_t first, uint32_t last)>;
 
   /// Plans the batch that satisfies the demand [begin, end): the missing
   /// demand fragments, extended through missing wanted fragments and the
@@ -100,20 +123,27 @@ class FetchPlanner {
   /// fragment always splits a run (re-fetching held bytes is the one
   /// waste coalescing must never introduce).
   ///
-  /// Proof-aware chunk completion: a chunk the batch covers only
-  /// partially costs a sibling-hash set (20 bytes per proof node) on the
-  /// wire; covering it fully costs the unneeded fragments' ciphertext but
-  /// empties the proof. Whenever the missing bytes are cheaper than the
-  /// proof they'd force — and the chunk is not already bare-verifiable
-  /// via `bare_probe` — the planner completes the chunk. This is the
-  /// amortization arithmetic that makes batched reads chunk-shaped.
+  /// Proof-aware coverage shaping: every hole in a chunk's planned
+  /// coverage costs sibling hashes (20 bytes per shipped proof node) on
+  /// the wire, while filling it costs the unneeded fragments' ciphertext.
+  /// Per chunk the planner greedily fills each hole whose ciphertext is no
+  /// dearer than the proof hashes it removes, then considers completing
+  /// the chunk outright (full coverage ships an empty proof). Costs come
+  /// from `proof_cost` — the post-trimming wire price, so warm chunks
+  /// (material already cached) are never "completed" to save hashes that
+  /// would not have shipped anyway. This is the amortization arithmetic
+  /// that makes batched reads chunk-shaped on a cold cache, and exactly
+  /// demand-shaped on a warm one; it is also what keeps skip-mode wire
+  /// under full streaming: a skip hole survives into the request only when
+  /// the ciphertext it avoids outweighs the proof overhead it causes,
+  /// otherwise the plan falls back toward stream-all of its own accord.
   ///
   /// The returned runs are sorted and disjoint, and always include the
   /// first missing demand fragment (progress guarantee); a demand wider
   /// than the horizon completes over successive calls.
   std::vector<FragmentRun> Plan(uint64_t begin, uint64_t end,
                                 const std::vector<bool>& valid,
-                                const BareProbe& bare_probe = nullptr);
+                                const ProofCostProbe& proof_cost = nullptr);
 
   uint64_t fragment_count() const { return fragment_count_; }
   uint64_t gap_threshold_bytes() const { return gap_threshold_; }
@@ -125,11 +155,17 @@ class FetchPlanner {
     uint64_t hints_excluded = 0;
     uint64_t gap_fragments_bridged = 0;  ///< Unneeded fragments fetched.
     uint64_t chunks_completed = 0;  ///< Rounded to full coverage (proof < gap).
+    uint64_t proof_holes_filled = 0;  ///< Coverage holes cheaper than proofs.
+    uint64_t speculation_waste_bytes = 0;  ///< Fetched, then excluded.
+    uint64_t stream_all_fallbacks = 0;  ///< 1 when this serve flipped.
   };
   const Stats& stats() const { return stats_; }
 
  private:
   enum class Mark : uint8_t { kUnknown, kWanted, kExcluded };
+
+  /// Actual document bytes of fragment `f` (tail fragments are short).
+  uint64_t FragmentBytes(uint64_t f) const;
 
   uint64_t document_bytes_;
   uint32_t fragment_size_;
@@ -144,6 +180,16 @@ class FetchPlanner {
   /// HintExcluded (skip evidence).
   uint64_t frontier_ = 0;
   uint64_t readahead_bytes_ = 0;
+  /// Fragments emitted in some batch's runs — what speculation actually
+  /// paid for (the waste stat must not count never-fetched holes).
+  std::vector<uint8_t> planned_;
+  /// Stream-all fallback state (see class comment). `avoided_bytes_` is
+  /// the incrementally maintained Σ bytes of excluded-and-never-planned
+  /// fragments (mark transitions keep it exact), so the per-batch
+  /// overhead-vs-avoidance check is O(1), not O(fragments).
+  uint64_t proof_overhead_bytes_ = 0;
+  uint64_t avoided_bytes_ = 0;
+  bool stream_all_fallback_ = false;
   mutable Stats stats_;
 };
 

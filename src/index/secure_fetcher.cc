@@ -6,77 +6,101 @@
 
 namespace csxa::index {
 
-SecureFetcher::SecureFetcher(const crypto::SecureDocumentStore* store,
+SecureFetcher::SecureFetcher(const crypto::BatchSource* source,
+                             const crypto::ChunkLayout& layout,
+                             uint64_t plaintext_size, uint64_t ciphertext_size,
                              crypto::SoeDecryptor* soe,
                              const PlannerOptions& planner_options)
-    : store_(store),
+    : source_(source),
       soe_(soe),
-      fragment_size_(store->layout().fragment_size),
-      planner_(store->ciphertext().size(), store->layout().fragment_size,
-               store->layout().chunk_size, planner_options),
-      buffer_(store->plaintext_size(), 0),
+      fragment_size_(layout.fragment_size),
+      chunk_size_(layout.chunk_size),
+      planner_(ciphertext_size, layout.fragment_size, layout.chunk_size,
+               planner_options),
+      buffer_(plaintext_size, 0),
+      padded_size_(ciphertext_size),
       fragment_valid_(planner_.fragment_count(), false) {}
 
 Status SecureFetcher::Ensure(uint64_t begin, uint64_t end) {
   end = std::min<uint64_t>(end, buffer_.size());
   if (begin >= end) return Status::OK();
-  const uint32_t chunk_size = store_->layout().chunk_size;
-  const uint64_t padded_size = store_->ciphertext().size();
 
   // One planner batch per terminal round trip; a demand wider than the
   // batch horizon completes over successive iterations (each is
   // guaranteed to validate at least the first missing demand fragment).
-  const FetchPlanner::BareProbe bare_probe =
+  // The planner prices coverage holes at their *incremental* proof cost:
+  // hashes the digest cache already holds are trimmed off the wire anyway,
+  // so they must not justify fetching skip-saved bytes.
+  const FetchPlanner::ProofCostProbe proof_probe =
       [this](uint64_t chunk, uint32_t first, uint32_t last) {
-        return soe_->CanVerifyBare(chunk, first, last);
+        return soe_->MissingProofNodes(chunk, first, last);
       };
   while (true) {
     std::vector<FragmentRun> runs =
-        planner_.Plan(begin, end, fragment_valid_, bare_probe);
+        planner_.Plan(begin, end, fragment_valid_, proof_probe);
     if (runs.empty()) return Status::OK();  // Demand fully held.
 
+    // One pass over the runs derives both the request ranges and every
+    // (chunk, covered fragment interval) pair the batch touches. Runs are
+    // sorted and disjoint, so covers of one chunk are adjacent.
+    struct ChunkCover {
+      uint64_t chunk;
+      uint32_t first;  ///< Covered fragment interval within the chunk.
+      uint32_t last;
+    };
     crypto::BatchRequest req;
     req.runs.reserve(runs.size());
+    std::vector<ChunkCover> covers;
+    std::vector<uint64_t> touched_chunks;
     for (const FragmentRun& run : runs) {
       crypto::BatchRequest::Run r;
       r.begin = run.begin_frag * fragment_size_;
-      r.end = std::min<uint64_t>(run.end_frag * fragment_size_, padded_size);
+      r.end = std::min<uint64_t>(run.end_frag * fragment_size_, padded_size_);
       req.runs.push_back(r);
+      for (uint64_t c = r.begin / chunk_size_; c <= (r.end - 1) / chunk_size_;
+           ++c) {
+        uint64_t chunk_begin = c * chunk_size_;
+        uint64_t cover_begin = std::max<uint64_t>(chunk_begin, r.begin);
+        uint64_t cover_end =
+            std::min<uint64_t>(chunk_begin + chunk_size_, r.end);
+        covers.push_back(
+            {c,
+             static_cast<uint32_t>((cover_begin - chunk_begin) /
+                                   fragment_size_),
+             static_cast<uint32_t>((cover_end - 1 - chunk_begin) /
+                                   fragment_size_)});
+        if (touched_chunks.empty() || touched_chunks.back() != c) {
+          touched_chunks.push_back(c);
+        }
+      }
     }
+    // Pin the batch's chunks *before* probing the cache: with the cache
+    // shared across serves, a concurrent session's insertions could evict
+    // an entry between the waiver probe below and the verification that
+    // relies on it — failing an honest response. Pinned entries cannot be
+    // displaced until the guard dies (after DecryptVerifiedBatch).
+    crypto::VerifiedDigestCache::PinScope pin =
+        soe_->PinChunks(touched_chunks);
+
     // Waive integrity material for every chunk whose covered fragment
     // ranges the SOE can already verify from its digest cache. A chunk
     // split across two runs (rare: an already-valid fragment between
     // them) is waived only when *every* covered range verifies bare.
-    // Probe each (chunk, covered range) exactly once; a chunk split
-    // across two runs (rare) is waived only when every cover verifies.
+    // Probe each (chunk, covered range) exactly once.
     struct ChunkClaim {
       uint64_t chunk;
       bool all_bare;
     };
     std::vector<ChunkClaim> claims;
-    for (const crypto::BatchRequest::Run& r : req.runs) {
-      uint64_t first_chunk = r.begin / chunk_size;
-      uint64_t last_chunk = (r.end - 1) / chunk_size;
-      for (uint64_t c = first_chunk; c <= last_chunk; ++c) {
-        uint64_t chunk_begin = c * chunk_size;
-        uint64_t cover_begin = std::max<uint64_t>(chunk_begin, r.begin);
-        uint64_t cover_end =
-            std::min<uint64_t>(chunk_begin + chunk_size, r.end);
-        const bool bare = soe_->CanVerifyBare(
-            c,
-            static_cast<uint32_t>((cover_begin - chunk_begin) /
-                                  fragment_size_),
-            static_cast<uint32_t>((cover_end - 1 - chunk_begin) /
-                                  fragment_size_));
-        if (!claims.empty() && claims.back().chunk == c) {
-          claims.back().all_bare &= bare;
-        } else {
-          claims.push_back({c, bare});
-        }
+    for (const ChunkCover& cover : covers) {
+      const bool bare =
+          soe_->CanVerifyBare(cover.chunk, cover.first, cover.last);
+      if (!claims.empty() && claims.back().chunk == cover.chunk) {
+        claims.back().all_bare &= bare;
+      } else {
+        claims.push_back({cover.chunk, bare});
       }
     }
-    // Runs are sorted and disjoint, so covers of one chunk are adjacent
-    // and `claims` holds each chunk exactly once.
     for (const ChunkClaim& claim : claims) {
       if (claim.all_bare) {
         req.bare_chunks.push_back(claim.chunk);
@@ -92,13 +116,23 @@ Status SecureFetcher::Ensure(uint64_t begin, uint64_t end) {
     }
 
     const uint64_t t0 = NowNs();
-    auto resp = store_->ReadBatch(req);
+    auto resp = source_->ReadBatch(req);
     fetch_ns_ += NowNs() - t0;
     CSXA_RETURN_NOT_OK(resp.status());
     wire_bytes_ += resp.value().WireBytes();
     ++requests_;
     segments_ += req.runs.size();
     bare_chunk_reads_ += req.bare_chunks.size();
+    uint64_t batch_proof_bytes = 0;
+    for (const crypto::RangeResponse::ChunkMaterial& mat :
+         resp.value().chunks) {
+      proof_hashes_shipped_ += mat.proof.size();
+      digest_bytes_shipped_ += mat.encrypted_digest.size();
+      batch_proof_bytes += mat.proof.size() * sizeof(crypto::Sha1Digest);
+    }
+    // Feed the realized proof overhead back: the planner's stream-all
+    // fallback weighs it against the ciphertext skipping actually avoided.
+    planner_.ReportProofBytes(batch_proof_bytes);
     CSXA_RETURN_NOT_OK(soe_->DecryptVerifiedBatch(req, resp.value(),
                                                   buffer_.data(),
                                                   buffer_.size()));

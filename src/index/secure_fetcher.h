@@ -25,12 +25,27 @@ namespace csxa::index {
 /// verified or decrypted — the property Section 5's cost model measures;
 /// the skip oracle's HintExcluded() calls cancel them out of planned
 /// batches before they are issued.
+///
+/// The terminal endpoint is a crypto::BatchSource, not necessarily one
+/// immutable store: a server's document entry forwards to whatever store
+/// version is current, so a session built for an older version fails
+/// closed ("stale chunk digest") the moment its fetches cross a bump.
 class SecureFetcher : public Fetcher {
  public:
-  /// `store` and `soe` must outlive the fetcher.
+  /// `source` and `soe` must outlive the fetcher. `layout`,
+  /// `plaintext_size` and `ciphertext_size` describe the document version
+  /// this fetcher was opened for.
+  SecureFetcher(const crypto::BatchSource* source,
+                const crypto::ChunkLayout& layout, uint64_t plaintext_size,
+                uint64_t ciphertext_size, crypto::SoeDecryptor* soe,
+                const PlannerOptions& planner_options = PlannerOptions());
+
+  /// Convenience for the single-store case.
   SecureFetcher(const crypto::SecureDocumentStore* store,
                 crypto::SoeDecryptor* soe,
-                const PlannerOptions& planner_options = PlannerOptions());
+                const PlannerOptions& planner_options = PlannerOptions())
+      : SecureFetcher(store, store->layout(), store->plaintext_size(),
+                      store->ciphertext().size(), soe, planner_options) {}
 
   /// Buffer of plaintext_size() bytes; valid only where Ensure() succeeded.
   const uint8_t* data() const { return buffer_.data(); }
@@ -51,13 +66,19 @@ class SecureFetcher : public Fetcher {
   /// Total bytes moved over the terminal->SOE channel so far.
   uint64_t wire_bytes() const { return wire_bytes_; }
   /// Plaintext bytes materialized so far (fragment granularity).
-  uint64_t bytes_fetched() const { return bytes_fetched_; }
+  uint64_t bytes_fetched() const override { return bytes_fetched_; }
   /// Number of batched round trips to the terminal.
   uint64_t requests() const { return requests_; }
   /// Contiguous ciphertext segments across all batches.
   uint64_t segments() const { return segments_; }
   /// Chunk reads served bare — ciphertext only, verified from the cache.
   uint64_t bare_chunk_reads() const { return bare_chunk_reads_; }
+  /// Merkle sibling hashes the terminal actually shipped this serve — 0
+  /// across a whole serve means every proof was trimmed away by the
+  /// (shared) digest cache, the warm-serve ideal.
+  uint64_t proof_hashes_shipped() const { return proof_hashes_shipped_; }
+  /// Encrypted ChunkDigest bytes shipped this serve (24 per cold chunk).
+  uint64_t digest_bytes_shipped() const { return digest_bytes_shipped_; }
   /// Wall clock spent in terminal round trips (the simulated wire).
   uint64_t fetch_ns() const { return fetch_ns_; }
   const FetchPlanner::Stats& planner_stats() const {
@@ -65,17 +86,21 @@ class SecureFetcher : public Fetcher {
   }
 
  private:
-  const crypto::SecureDocumentStore* store_;
+  const crypto::BatchSource* source_;
   crypto::SoeDecryptor* soe_;
   uint32_t fragment_size_;
+  uint32_t chunk_size_;
   FetchPlanner planner_;
   std::vector<uint8_t> buffer_;
+  uint64_t padded_size_;
   std::vector<bool> fragment_valid_;
   uint64_t wire_bytes_ = 0;
   uint64_t bytes_fetched_ = 0;
   uint64_t requests_ = 0;
   uint64_t segments_ = 0;
   uint64_t bare_chunk_reads_ = 0;
+  uint64_t proof_hashes_shipped_ = 0;
+  uint64_t digest_bytes_shipped_ = 0;
   uint64_t fetch_ns_ = 0;
 };
 

@@ -155,6 +155,8 @@ Status AuthorizedViewReader::BeginSplice(size_t id) {
   splicing_ = true;
   splice_depth_ = deferrals_[id].depth;
   splice_bits_base_ = nav_->bits_read();
+  splice_fetch_base_ =
+      options_.fetcher != nullptr ? options_.fetcher->bytes_fetched() : 0;
   ++stats_.rereads;
   return Status::OK();
 }
@@ -170,6 +172,10 @@ Result<ViewItem> AuthorizedViewReader::SpliceNext() {
     // The deferred element's own close is not re-emitted here — the
     // evaluator's queued close event follows in the output queue.
     stats_.reread_bits += nav_->bits_read() - splice_bits_base_;
+    if (options_.fetcher != nullptr) {
+      stats_.reread_fetched_bytes +=
+          options_.fetcher->bytes_fetched() - splice_fetch_base_;
+    }
     splicing_ = false;
     CSXA_RETURN_NOT_OK(nav_->SeekTo(resume_));
     return ViewItem{};  // Placeholder; caller loops.

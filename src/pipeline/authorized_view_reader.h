@@ -40,7 +40,12 @@ struct DriveStats {
   uint64_t deferrals = 0;      ///< Pending subtrees skipped-for-later.
   uint64_t deferred_bits = 0;  ///< Encoded bits those subtrees span.
   uint64_t rereads = 0;        ///< Granted deferrals spliced back in.
-  uint64_t reread_bits = 0;    ///< Encoded bits re-read during splices.
+  uint64_t reread_bits = 0;    ///< Encoded bits re-decoded during splices.
+  /// Plaintext bytes the fetcher actually pulled during splices — the
+  /// honest re-read cost. Smaller than reread_bits/8 whenever boundary
+  /// fragments were already held, and on a warm shared cache the pull is
+  /// additionally material-free (bare chunk reads).
+  uint64_t reread_fetched_bytes = 0;
 };
 
 /// One authorized-view event, pulled from an AuthorizedViewReader.
@@ -137,6 +142,7 @@ class AuthorizedViewReader {
   bool splicing_ = false;
   int splice_depth_ = 0;
   uint64_t splice_bits_base_ = 0;
+  uint64_t splice_fetch_base_ = 0;
   index::DocumentNavigator::Checkpoint resume_;
 
   /// Reusable skip-oracle input: generation-stamped presence table of the

@@ -19,11 +19,15 @@ Result<SecureSession> SecureSession::Build(const std::string& xml,
   return SecureSession(cfg, std::move(store), doc.bytes.size());
 }
 
-Result<std::unique_ptr<ServeStream>> SecureSession::OpenStream(
+Result<std::unique_ptr<ServeStream>> ServeStream::Open(
+    const crypto::BatchSource* source, const crypto::ChunkLayout& layout,
+    uint64_t plaintext_size, uint64_t ciphertext_size, uint64_t chunk_count,
+    const crypto::TripleDes::Key& key, uint32_t version,
     const std::vector<access::AccessRule>& rules,
-    const ServeOptions& options) const {
+    const ServeOptions& options) {
   auto stream = std::unique_ptr<ServeStream>(
-      new ServeStream(&store_, cfg_.key, cfg_.version, options));
+      new ServeStream(source, layout, plaintext_size, ciphertext_size,
+                      chunk_count, key, version, options));
   CSXA_ASSIGN_OR_RETURN(
       stream->nav_,
       index::DocumentNavigator::OpenBuffer(stream->fetcher_.data(),
@@ -37,10 +41,16 @@ Result<std::unique_ptr<ServeStream>> SecureSession::OpenStream(
   return stream;
 }
 
-Result<ServeReport> SecureSession::Serve(
+Result<std::unique_ptr<ServeStream>> SecureSession::OpenStream(
     const std::vector<access::AccessRule>& rules,
     const ServeOptions& options) const {
-  CSXA_ASSIGN_OR_RETURN(auto stream, OpenStream(rules, options));
+  return ServeStream::Open(&store_, store_.layout(), store_.plaintext_size(),
+                           store_.ciphertext().size(), store_.chunk_count(),
+                           cfg_.key, cfg_.version, rules, options);
+}
+
+Result<ServeReport> DrainServeStream(ServeStream* stream,
+                                     uint64_t encoded_bytes) {
   xml::SerializingHandler serializer;
   while (true) {
     CSXA_ASSIGN_OR_RETURN(ViewItem item, stream->Next());
@@ -52,18 +62,27 @@ Result<ServeReport> SecureSession::Serve(
   report.view = serializer.output();
   report.drive = stream->drive();
   report.eval = stream->eval();
-  report.encoded_bytes = encoded_bytes_;
+  report.encoded_bytes = encoded_bytes;
   report.wire_bytes = stream->fetcher().wire_bytes();
   report.bytes_fetched = stream->fetcher().bytes_fetched();
   report.requests = stream->fetcher().requests();
   report.segments = stream->fetcher().segments();
   report.bare_chunk_reads = stream->fetcher().bare_chunk_reads();
+  report.proof_hashes_shipped = stream->fetcher().proof_hashes_shipped();
+  report.digest_bytes_shipped = stream->fetcher().digest_bytes_shipped();
   report.gap_fragments_bridged =
       stream->fetcher().planner_stats().gap_fragments_bridged;
   report.fetch_ns = stream->fetcher().fetch_ns();
   report.soe = stream->soe();
   report.digest_cache = stream->cache_stats();
   return report;
+}
+
+Result<ServeReport> SecureSession::Serve(
+    const std::vector<access::AccessRule>& rules,
+    const ServeOptions& options) const {
+  CSXA_ASSIGN_OR_RETURN(auto stream, OpenStream(rules, options));
+  return DrainServeStream(stream.get(), encoded_bytes_);
 }
 
 }  // namespace csxa::pipeline

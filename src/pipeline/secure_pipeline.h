@@ -50,8 +50,14 @@ struct ServeOptions {
   /// Fetch-planner knobs of this serve (gap threshold, batch horizon).
   index::PlannerOptions planner;
   /// Verified-digest cache entries in the per-serve SOE decryptor; 0
-  /// disables bare re-reads.
+  /// disables bare re-reads. Ignored when `shared_digest_cache` is set.
   size_t digest_cache_capacity = crypto::SoeDecryptor::kDefaultDigestCacheCapacity;
+  /// Cross-serve shared verified-digest cache (the server layer's
+  /// per-(document, version) instance). When set, this serve reads and
+  /// writes the shared pool: a warm cache means trimmed proofs and bare
+  /// re-reads from the first request. Must be stamped with the serve's
+  /// document version (see SoeDecryptor); null keeps a private cache.
+  std::shared_ptr<crypto::VerifiedDigestCache> shared_digest_cache;
 };
 
 /// Cost-model counters of one serve (the quantities of the paper's
@@ -66,6 +72,8 @@ struct ServeReport {
   uint64_t requests = 0;                 ///< Batched terminal round trips.
   uint64_t segments = 0;                 ///< Ciphertext runs across batches.
   uint64_t bare_chunk_reads = 0;         ///< Chunk reads verified bare.
+  uint64_t proof_hashes_shipped = 0;     ///< Merkle siblings the wire carried.
+  uint64_t digest_bytes_shipped = 0;     ///< Encrypted ChunkDigest bytes.
   uint64_t gap_fragments_bridged = 0;    ///< Unneeded fragments coalesced in.
   uint64_t fetch_ns = 0;                 ///< Wall clock in terminal reads.
   crypto::SoeDecryptor::Counters soe;    ///< Decrypt/hash work in the SOE.
@@ -78,6 +86,18 @@ struct ServeReport {
 /// SecureSession::OpenStream; the session must outlive the stream.
 class ServeStream {
  public:
+  /// Wires a complete per-serve SOE chain over any terminal endpoint: the
+  /// single-document facade passes its own store; the server layer passes
+  /// the document entry's live link (current store behind a lock) plus the
+  /// geometry/version of the snapshot the session was opened for, and the
+  /// shared digest cache via `options.shared_digest_cache`.
+  static Result<std::unique_ptr<ServeStream>> Open(
+      const crypto::BatchSource* source, const crypto::ChunkLayout& layout,
+      uint64_t plaintext_size, uint64_t ciphertext_size, uint64_t chunk_count,
+      const crypto::TripleDes::Key& key, uint32_t version,
+      const std::vector<access::AccessRule>& rules,
+      const ServeOptions& options);
+
   ServeStream(const ServeStream&) = delete;
   ServeStream& operator=(const ServeStream&) = delete;
 
@@ -92,24 +112,32 @@ class ServeStream {
   const crypto::SoeDecryptor::Counters& soe() const {
     return soe_.counters();
   }
-  const crypto::VerifiedDigestCache::Stats& cache_stats() const {
+  crypto::VerifiedDigestCache::Stats cache_stats() const {
     return soe_.cache_stats();
   }
 
  private:
-  friend class SecureSession;
-  ServeStream(const crypto::SecureDocumentStore* store,
+  ServeStream(const crypto::BatchSource* source,
+              const crypto::ChunkLayout& layout, uint64_t plaintext_size,
+              uint64_t ciphertext_size, uint64_t chunk_count,
               const crypto::TripleDes::Key& key, uint32_t version,
               const ServeOptions& options)
-      : soe_(key, store->layout(), store->plaintext_size(),
-             store->chunk_count(), version, options.digest_cache_capacity),
-        fetcher_(store, &soe_, options.planner) {}
+      : soe_(key, layout, plaintext_size, chunk_count, version,
+             options.digest_cache_capacity, options.shared_digest_cache),
+        fetcher_(source, layout, plaintext_size, ciphertext_size, &soe_,
+                 options.planner) {}
 
   crypto::SoeDecryptor soe_;
   index::SecureFetcher fetcher_;
   std::unique_ptr<index::DocumentNavigator> nav_;
   std::unique_ptr<AuthorizedViewReader> reader_;
 };
+
+/// Drains `stream` into a serialized view plus the cost-model counters of
+/// the serve — the one reporting path the demo, bench, tests and the
+/// server layer all share.
+Result<ServeReport> DrainServeStream(ServeStream* stream,
+                                     uint64_t encoded_bytes);
 
 class SecureSession {
  public:

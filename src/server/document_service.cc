@@ -1,0 +1,138 @@
+#include "server/document_service.h"
+
+#include <utility>
+
+#include "index/encoder.h"
+#include "xml/sax_parser.h"
+
+namespace csxa::server {
+
+namespace internal {
+
+Result<crypto::BatchResponse> DocumentEntry::ReadBatch(
+    const crypto::BatchRequest& request) const {
+  std::shared_ptr<const DocumentState> state = Current();
+  const uint64_t size = state->store.ciphertext().size();
+  for (const crypto::BatchRequest::Run& run : request.runs) {
+    if (run.end > size) {
+      return Status::IntegrityError(
+          "stale session: batch range beyond the current document version");
+    }
+  }
+  return state->store.ReadBatch(request);
+}
+
+}  // namespace internal
+
+Result<std::shared_ptr<const internal::DocumentState>>
+DocumentService::BuildState(const std::string& xml, const DocumentConfig& cfg,
+                            uint32_t version) {
+  CSXA_ASSIGN_OR_RETURN(auto dom, xml::SaxParser::ParseToDom(xml));
+  CSXA_ASSIGN_OR_RETURN(index::EncodedDocument doc,
+                        index::Encode(*dom, cfg.variant));
+  CSXA_ASSIGN_OR_RETURN(crypto::SecureDocumentStore store,
+                        crypto::SecureDocumentStore::Build(
+                            doc.bytes, cfg.key, cfg.layout, version));
+  auto state = std::make_shared<internal::DocumentState>();
+  state->encoded_bytes = doc.bytes.size();
+  state->version = version;
+  state->key = cfg.key;
+  state->variant = cfg.variant;
+  state->store = std::move(store);
+  // The shared cache is born with the state and dies with the last
+  // session holding it: entries are keyed (chunk, node) inside an
+  // instance keyed (document, version) — a bump can therefore never leak
+  // one version's authenticated hashes into another's serves.
+  state->cache = std::make_shared<crypto::VerifiedDigestCache>(
+      cfg.layout.fragments_per_chunk(), cfg.shared_cache_capacity, version);
+  return std::shared_ptr<const internal::DocumentState>(std::move(state));
+}
+
+Status DocumentService::Publish(const std::string& doc_id,
+                                const std::string& xml,
+                                const DocumentConfig& cfg) {
+  CSXA_RETURN_NOT_OK(cfg.layout.Validate());
+  CSXA_ASSIGN_OR_RETURN(auto state, BuildState(xml, cfg, /*version=*/0));
+  auto entry = std::make_shared<internal::DocumentEntry>();
+  entry->Swap(std::move(state));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!docs_.emplace(doc_id, Published{cfg, std::move(entry)}).second) {
+    return Status::InvalidArgument("document already published: " + doc_id);
+  }
+  return Status::OK();
+}
+
+Status DocumentService::Update(const std::string& doc_id,
+                               const std::string& xml) {
+  DocumentConfig cfg;
+  std::shared_ptr<internal::DocumentEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = docs_.find(doc_id);
+    if (it == docs_.end()) {
+      return Status::InvalidArgument("document not published: " + doc_id);
+    }
+    cfg = it->second.cfg;
+    entry = it->second.entry;
+  }
+  // Serialized per entry so two racing updates of one document cannot
+  // mint the same version number for different content (sessions could
+  // then mix them undetected); updates of other documents proceed.
+  std::lock_guard<std::mutex> update_lock(entry->update_mu);
+  const uint32_t next_version = entry->Current()->version + 1;
+  CSXA_ASSIGN_OR_RETURN(auto state, BuildState(xml, cfg, next_version));
+  entry->Swap(std::move(state));
+  return Status::OK();
+}
+
+Result<std::shared_ptr<internal::DocumentEntry>> DocumentService::FindEntry(
+    const std::string& doc_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = docs_.find(doc_id);
+  if (it == docs_.end()) {
+    return Status::InvalidArgument("document not published: " + doc_id);
+  }
+  return it->second.entry;
+}
+
+Result<std::unique_ptr<SecureSession>> DocumentService::OpenSession(
+    const std::string& doc_id, const std::vector<access::AccessRule>& rules,
+    const pipeline::ServeOptions& options) const {
+  CSXA_ASSIGN_OR_RETURN(auto entry, FindEntry(doc_id));
+  // Snapshot the version the session is opened for: geometry, expected
+  // version and shared cache come from it, while actual batch reads go
+  // through the entry (the *current* store) — a bump between here and the
+  // last fetch is therefore detected, not papered over.
+  std::shared_ptr<const internal::DocumentState> state = entry->Current();
+  pipeline::ServeOptions wired = options;
+  wired.shared_digest_cache = state->cache;
+  CSXA_ASSIGN_OR_RETURN(
+      auto stream,
+      pipeline::ServeStream::Open(
+          entry.get(), state->store.layout(), state->store.plaintext_size(),
+          state->store.ciphertext().size(), state->store.chunk_count(),
+          state->key, state->version, rules, wired));
+  return std::unique_ptr<SecureSession>(new SecureSession(
+      std::move(entry), std::move(state), std::move(stream)));
+}
+
+Result<pipeline::ServeReport> DocumentService::Serve(
+    const std::string& doc_id, const std::vector<access::AccessRule>& rules,
+    const pipeline::ServeOptions& options) const {
+  CSXA_ASSIGN_OR_RETURN(auto session, OpenSession(doc_id, rules, options));
+  return session->Drain();
+}
+
+Result<uint32_t> DocumentService::CurrentVersion(
+    const std::string& doc_id) const {
+  CSXA_ASSIGN_OR_RETURN(auto entry, FindEntry(doc_id));
+  return entry->Current()->version;
+}
+
+Result<crypto::VerifiedDigestCache::Stats> DocumentService::CacheStats(
+    const std::string& doc_id) const {
+  CSXA_ASSIGN_OR_RETURN(auto entry, FindEntry(doc_id));
+  return entry->Current()->cache->stats();
+}
+
+}  // namespace csxa::server

@@ -1,0 +1,195 @@
+#ifndef CSXA_SERVER_DOCUMENT_SERVICE_H_
+#define CSXA_SERVER_DOCUMENT_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "access/access_rule.h"
+#include "common/status.h"
+#include "crypto/digest_cache.h"
+#include "crypto/secure_store.h"
+#include "index/variants.h"
+#include "pipeline/secure_pipeline.h"
+
+namespace csxa::server {
+
+/// Owner-side publication parameters of one document (the per-serve knobs
+/// stay in pipeline::ServeOptions).
+struct DocumentConfig {
+  index::Variant variant = index::Variant::kTcsbr;
+  crypto::ChunkLayout layout;
+  crypto::TripleDes::Key key{};
+  /// Entries (chunks) of the per-(document, version) shared verified-digest
+  /// cache. Sized to hold a whole document's chunks so a warm service
+  /// serves every session material-free; 0 falls back to private
+  /// per-serve caches.
+  size_t shared_cache_capacity = 128;
+};
+
+namespace internal {
+
+/// Immutable snapshot of one published document version: the encrypted
+/// store, its geometry, and the shared verified-digest cache stamped with
+/// this version. Sessions hold it by shared_ptr, so an Update never pulls
+/// memory out from under an in-flight serve — it only makes the serve
+/// *fail closed* (the live terminal link below starts answering with the
+/// next version's bytes and digests).
+struct DocumentState {
+  crypto::SecureDocumentStore store;
+  uint64_t encoded_bytes = 0;
+  uint32_t version = 0;
+  crypto::TripleDes::Key key{};
+  index::Variant variant = index::Variant::kTcsbr;
+  std::shared_ptr<crypto::VerifiedDigestCache> cache;
+};
+
+/// The live terminal link of one document id. Every session's fetcher
+/// reads through this (not through its own version snapshot): the terminal
+/// has exactly one current store, and a session opened before a version
+/// bump must see the bumped bytes — and reject them as "stale chunk
+/// digest" — rather than keep serving a state the terminal no longer
+/// holds. That is the replay-protection contract of Section 6 carried
+/// into the concurrent-service world.
+class DocumentEntry : public crypto::BatchSource {
+ public:
+  /// Serves from the current store; a request whose ranges outrun it
+  /// (a session built for a larger, superseded version after a shrinking
+  /// bump) is reported as the integrity failure it is — stale sessions
+  /// fail closed with one consistent error class, never InvalidArgument.
+  Result<crypto::BatchResponse> ReadBatch(
+      const crypto::BatchRequest& request) const override;
+
+  std::shared_ptr<const DocumentState> Current() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+  }
+  void Swap(std::shared_ptr<const DocumentState> next) {
+    std::lock_guard<std::mutex> lock(mu_);
+    state_ = std::move(next);
+  }
+
+  /// Serializes this document's read-bump-swap update sequence (two
+  /// racing updates must not mint the same version number for different
+  /// content). Per entry, so one document's expensive rebuild never
+  /// stalls another's.
+  std::mutex update_mu;
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const DocumentState> state_;
+};
+
+}  // namespace internal
+
+/// One user's serve against a published document: a handle on the
+/// service's document entry (the live terminal link plus keep-alives for
+/// the version snapshot it was opened under) wrapping the per-serve SOE
+/// chain. Many SecureSessions run concurrently against one DocumentService;
+/// they share nothing mutable but the thread-safe verified-digest cache of
+/// their document version — which is what makes every session after the
+/// first start warm: trimmed proofs and bare re-reads from its first
+/// request.
+class SecureSession {
+ public:
+  SecureSession(const SecureSession&) = delete;
+  SecureSession& operator=(const SecureSession&) = delete;
+
+  /// Next authorized-view event; `.end` true after the last one. A
+  /// version bump racing this serve surfaces as IntegrityError ("stale
+  /// chunk digest" / cached-root mismatch) — never as silently mixed
+  /// content.
+  Result<pipeline::ViewItem> Next() { return stream_->Next(); }
+
+  /// Drains the remaining view into a serialized string + cost report.
+  Result<pipeline::ServeReport> Drain() {
+    return pipeline::DrainServeStream(stream_.get(), state_->encoded_bytes);
+  }
+
+  uint32_t version() const { return state_->version; }
+  const pipeline::ServeStream& stream() const { return *stream_; }
+
+ private:
+  friend class DocumentService;
+  SecureSession(std::shared_ptr<internal::DocumentEntry> entry,
+                std::shared_ptr<const internal::DocumentState> state,
+                std::unique_ptr<pipeline::ServeStream> stream)
+      : entry_(std::move(entry)),
+        state_(std::move(state)),
+        stream_(std::move(stream)) {}
+
+  std::shared_ptr<internal::DocumentEntry> entry_;  ///< Live terminal link.
+  std::shared_ptr<const internal::DocumentState> state_;  ///< Version snapshot.
+  std::unique_ptr<pipeline::ServeStream> stream_;
+};
+
+/// The server: owns one SecureDocumentStore per published document and
+/// serves many concurrent SecureSessions against each. Thread-safe —
+/// Publish/Update/OpenSession/Serve may be called from any thread.
+///
+/// Sharing model (what crosses session boundaries, and why it is safe):
+///  - the store: immutable per version, terminal-side ciphertext anyway;
+///  - the verified-digest cache: authenticated Merkle hashes of that
+///    ciphertext, keyed (document, version, chunk, node) — the instance
+///    is bound to (document, version), entries to (chunk, node). Entries
+///    are written only after a full digest-chain verification, so sharing
+///    them across serves discloses nothing the terminal does not already
+///    serve to anyone, and saves every session after the first the whole
+///    material transfer. A version bump swaps in a fresh instance, so a
+///    stale version's hashes can never vouch for bumped content.
+/// Everything else (decryptor, fetcher, navigator, evaluator) is strictly
+/// per-session.
+class DocumentService {
+ public:
+  DocumentService() = default;
+  DocumentService(const DocumentService&) = delete;
+  DocumentService& operator=(const DocumentService&) = delete;
+
+  /// Owner side: parses `xml`, encodes, encrypts, and publishes it under
+  /// `doc_id` at version 0. Fails if the id is already published.
+  Status Publish(const std::string& doc_id, const std::string& xml,
+                 const DocumentConfig& cfg);
+
+  /// Re-publishes `doc_id` with the document version bumped by one: the
+  /// terminal store is swapped and the shared digest cache replaced with a
+  /// fresh (empty) instance stamped with the new version. Sessions opened
+  /// before the bump fail closed on their next fetch.
+  Status Update(const std::string& doc_id, const std::string& xml);
+
+  /// SOE side: opens a pull session of the authorized view for `rules`
+  /// against the current version of `doc_id`, wired to the shared cache.
+  Result<std::unique_ptr<SecureSession>> OpenSession(
+      const std::string& doc_id,
+      const std::vector<access::AccessRule>& rules,
+      const pipeline::ServeOptions& options) const;
+
+  /// Convenience: OpenSession + Drain.
+  Result<pipeline::ServeReport> Serve(
+      const std::string& doc_id, const std::vector<access::AccessRule>& rules,
+      const pipeline::ServeOptions& options) const;
+
+  Result<uint32_t> CurrentVersion(const std::string& doc_id) const;
+  /// Snapshot of the current version's shared-cache stats.
+  Result<crypto::VerifiedDigestCache::Stats> CacheStats(
+      const std::string& doc_id) const;
+
+ private:
+  static Result<std::shared_ptr<const internal::DocumentState>> BuildState(
+      const std::string& xml, const DocumentConfig& cfg, uint32_t version);
+  Result<std::shared_ptr<internal::DocumentEntry>> FindEntry(
+      const std::string& doc_id) const;
+
+  mutable std::mutex mu_;  ///< Guards the registry, not the entries.
+  struct Published {
+    DocumentConfig cfg;
+    std::shared_ptr<internal::DocumentEntry> entry;
+  };
+  std::map<std::string, Published> docs_;
+};
+
+}  // namespace csxa::server
+
+#endif  // CSXA_SERVER_DOCUMENT_SERVICE_H_

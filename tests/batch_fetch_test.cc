@@ -450,6 +450,86 @@ TEST(PlannerHonoursHintsAndValidity) {
   CHECK_EQ(runs[0].end_frag, uint64_t{6});
 }
 
+TEST(PlannerProofCostsAreCacheAware) {
+  // Satellite regression (PR 4 known gap): completion estimates priced
+  // proofs pre-trimming. The planner must fill a coverage hole when the
+  // *shipped* proof hashes it removes outweigh the hole's ciphertext —
+  // and must NOT fill it when the digest cache already holds those hashes
+  // (they cost no wire either way). Layout: one 256-byte chunk of eight
+  // 32-byte fragments; demand frags 0..2, wanted frags 5..7, hole 3..4.
+  index::PlannerOptions opts;
+  opts.gap_threshold_bytes = 0;  // Isolate pass 3 from gap bridging.
+  opts.max_batch_bytes = 1 << 20;
+
+  {
+    // Cold cache (no probe): the two covered ranges ship 4 sibling
+    // hashes (80 bytes) — dearer than the 64-byte hole, so it is filled
+    // and the chunk goes out as one full-coverage run with empty proof.
+    index::FetchPlanner planner(/*document_bytes=*/256, /*fragment_size=*/32,
+                                /*chunk_size=*/256, opts);
+    std::vector<bool> valid(planner.fragment_count(), false);
+    planner.HintWanted(160, 256);
+    auto runs = planner.Plan(0, 96, valid);
+    CHECK_EQ(runs.size(), size_t{1});
+    CHECK_EQ(runs[0].begin_frag, uint64_t{0});
+    CHECK_EQ(runs[0].end_frag, uint64_t{8});
+    CHECK(planner.stats().proof_holes_filled +
+              planner.stats().chunks_completed >=
+          1);
+  }
+  {
+    // Warm cache (probe says every hash is already held): the hole saves
+    // 64 ciphertext bytes and costs nothing — it must survive. This is
+    // the over-fetch the pre-trimming estimate used to cause.
+    index::FetchPlanner planner(/*document_bytes=*/256, /*fragment_size=*/32,
+                                /*chunk_size=*/256, opts);
+    std::vector<bool> valid(planner.fragment_count(), false);
+    planner.HintWanted(160, 256);
+    auto runs = planner.Plan(0, 96, valid,
+                             [](uint64_t, uint32_t, uint32_t) -> uint64_t {
+                               return 0;  // Everything cached.
+                             });
+    CHECK_EQ(runs.size(), size_t{2});
+    CHECK_EQ(runs[0].begin_frag, uint64_t{0});
+    CHECK_EQ(runs[0].end_frag, uint64_t{3});
+    CHECK_EQ(runs[1].begin_frag, uint64_t{5});
+    CHECK_EQ(runs[1].end_frag, uint64_t{8});
+    CHECK_EQ(planner.stats().proof_holes_filled, uint64_t{0});
+    CHECK_EQ(planner.stats().chunks_completed, uint64_t{0});
+  }
+}
+
+TEST(DecryptorMissingProofNodesTracksCache) {
+  // The decryptor-side probe feeding the planner: a cold chunk prices the
+  // full sibling set, a verified one prices zero.
+  std::vector<uint8_t> doc(200);
+  for (size_t i = 0; i < doc.size(); ++i) doc[i] = static_cast<uint8_t>(i);
+  auto layout = SmallLayout();  // 64-byte chunks, 8-byte fragments.
+  auto store = crypto::SecureDocumentStore::Build(doc, TestKey(), layout);
+  CHECK_OK(store.status());
+  if (!store.ok()) return;
+  crypto::SoeDecryptor soe(TestKey(), layout, doc.size(),
+                           store.value().chunk_count());
+
+  // Cold: fragments [1..2] of chunk 0 need their two flanking leaves plus
+  // the sibling of the upper half — 3 hashes.
+  CHECK_EQ(soe.MissingProofNodes(0, 1, 2), uint64_t{3});
+
+  crypto::BatchRequest req;
+  req.runs.push_back({0, 64});  // Whole chunk 0.
+  auto resp = store.value().ReadBatch(req);
+  CHECK_OK(resp.status());
+  std::vector<uint8_t> out(doc.size(), 0);
+  CHECK_OK(soe.DecryptVerifiedBatch(req, resp.value(), out.data(),
+                                    out.size()));
+
+  // Warm: every node of chunk 0 is now authenticated — nothing to ship.
+  CHECK_EQ(soe.MissingProofNodes(0, 1, 2), uint64_t{0});
+  CHECK_EQ(soe.MissingProofNodes(0, 4, 7), uint64_t{0});
+  // Chunk 1 stays cold.
+  CHECK_EQ(soe.MissingProofNodes(1, 1, 2), uint64_t{3});
+}
+
 TEST(PlannerBridgesSubThresholdGaps) {
   index::PlannerOptions opts;
   opts.gap_threshold_bytes = 64;  // Two 32-byte fragments.

@@ -1,0 +1,341 @@
+// Server-layer tests: one DocumentService must serve many concurrent
+// SecureSessions byte-identically to single-session serves, the shared
+// per-(document, version) verified-digest cache must make every session
+// after the first warm (trimmed proofs, bare re-reads, zero re-shipped
+// tree hashes) without weakening integrity, and a version bump must fail
+// stale sessions closed while fresh sessions see the new digests — even
+// when the bump races in-flight serves.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "access/access_rule.h"
+#include "pipeline/secure_pipeline.h"
+#include "server/document_service.h"
+#include "testing.h"
+#include "xml/sax_parser.h"
+#include "xml/serializer.h"
+
+namespace {
+
+using namespace csxa;  // NOLINT
+
+crypto::TripleDes::Key TestKey() {
+  crypto::TripleDes::Key key{};
+  for (size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<uint8_t>(0x9e ^ (i * 17));
+  }
+  return key;
+}
+
+std::string Payload(const char* stem, int i, size_t n) {
+  std::string s = std::string(stem) + "-" + std::to_string(i) + "-";
+  while (s.size() < n) s += "loremipsum";
+  s.resize(n);
+  return s;
+}
+
+/// Folder set with bulky denied subtrees, needle grants, and a trailing
+/// clearance predicate; `tag` varies the payload text (same length) so
+/// document versions differ in content but not geometry.
+std::string TestDocument(int folders, const char* tag = "v0") {
+  std::string xml = "<Hospital>";
+  for (int f = 0; f < folders; ++f) {
+    xml += "<Folder><Admin>";
+    xml += "<Name>" + Payload(tag, f, 16) + "</Name>";
+    xml += "<Insurance>" + Payload(tag, f + 100, 160) + "</Insurance>";
+    xml += "</Admin><MedActs>";
+    for (int c = 0; c < 3; ++c) {
+      xml += "<Consult><Diagnostic>" + Payload(tag, f * 10 + c, 56) +
+             "</Diagnostic><Prescription>rx-" + std::to_string(f * 10 + c) +
+             "</Prescription></Consult>";
+    }
+    xml += "</MedActs>";
+    xml += std::string("<Clearance>") + (f % 2 ? "closed" : "open") +
+           "</Clearance></Folder>";
+  }
+  xml += "</Hospital>";
+  return xml;
+}
+
+const char* const kRuleSets[] = {
+    "+ /Hospital/Folder/MedActs\n",
+    "+ //Prescription\n",
+    "+ /Hospital/Folder[Clearance = open]/MedActs\n",
+};
+
+std::string DirectView(const std::string& xml,
+                       const std::vector<access::AccessRule>& rules) {
+  xml::SerializingHandler ser;
+  access::RuleEvaluator eval(rules, &ser);
+  CHECK_OK(xml::SaxParser::Parse(xml, &eval));
+  CHECK_OK(eval.Finish());
+  return ser.output();
+}
+
+server::DocumentConfig TestConfig(index::Variant variant) {
+  server::DocumentConfig cfg;
+  cfg.variant = variant;
+  cfg.layout.chunk_size = 256;
+  cfg.layout.fragment_size = 32;
+  cfg.key = TestKey();
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency stress: N threads, mixed rulesets/variants/budgets, one
+// service — every view byte-identical to the single-session reference.
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrentServesMatchSingleSessionViews) {
+  const std::string xml = TestDocument(/*folders=*/6);
+  server::DocumentService service;
+  CHECK_OK(service.Publish("tcsbr", xml, TestConfig(index::Variant::kTcsbr)));
+  CHECK_OK(service.Publish("tcs", xml, TestConfig(index::Variant::kTcs)));
+
+  struct Expected {
+    std::vector<access::AccessRule> rules;
+    std::string view;
+  };
+  std::vector<Expected> expected;
+  for (const char* rules_text : kRuleSets) {
+    auto parsed = access::ParseRuleList(rules_text);
+    CHECK_OK(parsed.status());
+    if (!parsed.ok()) return;
+    Expected e;
+    e.rules = parsed.take();
+    e.view = DirectView(xml, e.rules);
+    expected.push_back(std::move(e));
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 6;
+  std::atomic<int> mismatches{0}, failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const Expected& e = expected[(t + i) % expected.size()];
+        pipeline::ServeOptions opts;
+        // Mix strategies: every other serve forces deferrals + re-reads.
+        opts.pending_buffer_budget = (t + i) % 2 == 0 ? UINT64_MAX : 64;
+        const char* doc = (t + i) % 3 == 0 ? "tcs" : "tcsbr";
+        auto report = service.Serve(doc, e.rules, opts);
+        if (!report.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (report.value().view != e.view) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  CHECK_EQ(failures.load(), 0);
+  CHECK_EQ(mismatches.load(), 0);
+
+  // The shared cache actually got exercised across sessions.
+  auto stats = service.CacheStats("tcsbr");
+  CHECK_OK(stats.status());
+  if (stats.ok()) {
+    CHECK(stats.value().records > 0);
+    CHECK(stats.value().bare_hits > 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Warm-cache economics: the second session of a document pays no material.
+// ---------------------------------------------------------------------------
+
+TEST(WarmSessionShipsNoIntegrityMaterial) {
+  const std::string xml = TestDocument(/*folders=*/6);
+  server::DocumentService service;
+  CHECK_OK(service.Publish("doc", xml, TestConfig(index::Variant::kTcsbr)));
+  auto rules = access::ParseRuleList("+ //Prescription\n").take();
+  const std::string expected = DirectView(xml, rules);
+
+  pipeline::ServeOptions opts;
+  auto cold = service.Serve("doc", rules, opts);
+  auto warm = service.Serve("doc", rules, opts);
+  CHECK_OK(cold.status());
+  CHECK_OK(warm.status());
+  if (!cold.ok() || !warm.ok()) return;
+  CHECK_EQ(cold.value().view, expected);
+  CHECK_EQ(warm.value().view, expected);
+  // Cold pays the material once; warm serves fully from the shared cache:
+  // zero tree hashes, zero digests re-shipped, strictly less wire.
+  CHECK(cold.value().proof_hashes_shipped > 0 ||
+        cold.value().digest_bytes_shipped > 0);
+  CHECK_EQ(warm.value().proof_hashes_shipped, uint64_t{0});
+  CHECK_EQ(warm.value().digest_bytes_shipped, uint64_t{0});
+  CHECK(warm.value().bare_chunk_reads > 0);
+  CHECK(warm.value().wire_bytes < cold.value().wire_bytes);
+}
+
+TEST(WarmDeferralRereadsAreBare) {
+  // Satellite: splicer re-reads ride the planner and, on a warm shared
+  // cache, verify bare — and the reread accounting reports bytes actually
+  // pulled, which never exceed the decoded span.
+  const std::string xml = TestDocument(/*folders=*/6);
+  server::DocumentService service;
+  CHECK_OK(service.Publish("doc", xml, TestConfig(index::Variant::kTcsbr)));
+  auto rules =
+      access::ParseRuleList("+ /Hospital/Folder[Clearance = open]/MedActs\n")
+          .take();
+  const std::string expected = DirectView(xml, rules);
+
+  pipeline::ServeOptions opts;
+  opts.pending_buffer_budget = 64;  // Force deferrals + re-reads.
+  auto cold = service.Serve("doc", rules, opts);
+  auto warm = service.Serve("doc", rules, opts);
+  CHECK_OK(cold.status());
+  CHECK_OK(warm.status());
+  if (!cold.ok() || !warm.ok()) return;
+  CHECK_EQ(warm.value().view, expected);
+  CHECK(warm.value().drive.rereads > 0);
+  CHECK_EQ(warm.value().proof_hashes_shipped, uint64_t{0});
+  CHECK_EQ(warm.value().digest_bytes_shipped, uint64_t{0});
+  // Honest accounting: fetched re-read bytes are real and bounded by the
+  // decoded span (boundary fragments already held are not re-billed).
+  CHECK(warm.value().drive.reread_fetched_bytes > 0);
+  CHECK(cold.value().drive.reread_fetched_bytes <=
+        (cold.value().drive.reread_bits + 7) / 8 +
+            2 * 32 * cold.value().drive.rereads);  // fragment-rounding slack
+}
+
+// ---------------------------------------------------------------------------
+// Version bumps: stale sessions fail closed, fresh sessions see the new
+// digests, races never produce mixed content.
+// ---------------------------------------------------------------------------
+
+TEST(StaleSessionRejectsAfterVersionBump) {
+  const std::string v0 = TestDocument(/*folders=*/6, "v0");
+  const std::string v1 = TestDocument(/*folders=*/6, "v1");
+  server::DocumentService service;
+  CHECK_OK(service.Publish("doc", v0, TestConfig(index::Variant::kTcsbr)));
+  auto rules = access::ParseRuleList("+ /Hospital/Folder/MedActs\n").take();
+
+  // Open before the bump (the header prefetch reads v0), bump, then
+  // drain: the session's remaining fetches hit v1 bytes and digests and
+  // must be rejected — not silently blended into the view.
+  auto session = service.OpenSession("doc", rules, pipeline::ServeOptions());
+  CHECK_OK(session.status());
+  if (!session.ok()) return;
+  CHECK_EQ(session.value()->version(), uint32_t{0});
+  CHECK_OK(service.Update("doc", v1));
+  auto cv = service.CurrentVersion("doc");
+  CHECK_OK(cv.status());
+  if (cv.ok()) CHECK_EQ(cv.value(), uint32_t{1});
+  auto drained = session.value()->Drain();
+  CHECK(!drained.ok());
+  if (!drained.ok()) {
+    CHECK(drained.status().code() == StatusCode::kIntegrityError);
+  }
+
+  // A session opened after the bump sees the new version's digests and
+  // serves the new content.
+  auto fresh = service.OpenSession("doc", rules, pipeline::ServeOptions());
+  CHECK_OK(fresh.status());
+  if (!fresh.ok()) return;
+  CHECK_EQ(fresh.value()->version(), uint32_t{1});
+  auto fresh_report = fresh.value()->Drain();
+  CHECK_OK(fresh_report.status());
+  if (fresh_report.ok()) {
+    CHECK_EQ(fresh_report.value().view, DirectView(v1, rules));
+  }
+}
+
+TEST(ShrinkingUpdateStillFailsStaleSessionsClosed) {
+  // A bump to a *smaller* document makes a stale session's batch ranges
+  // outrun the current store. That must surface as the same
+  // IntegrityError class as any other stale read — not InvalidArgument —
+  // so callers retrying/reopening on integrity failures handle both.
+  const std::string big = TestDocument(/*folders=*/8, "v0");
+  const std::string small = TestDocument(/*folders=*/2, "v1");
+  server::DocumentService service;
+  CHECK_OK(service.Publish("doc", big, TestConfig(index::Variant::kTcsbr)));
+  auto rules = access::ParseRuleList("+ /Hospital/Folder/MedActs\n").take();
+  auto session = service.OpenSession("doc", rules, pipeline::ServeOptions());
+  CHECK_OK(session.status());
+  if (!session.ok()) return;
+  CHECK_OK(service.Update("doc", small));
+  auto drained = session.value()->Drain();
+  CHECK(!drained.ok());
+  if (!drained.ok()) {
+    CHECK(drained.status().code() == StatusCode::kIntegrityError);
+  }
+}
+
+TEST(VersionBumpRaceNeverMixesContent) {
+  // Serving threads race repeated updates: every completed serve must be
+  // byte-identical to *some* published version's view; every other serve
+  // must fail with IntegrityError. Anything else (blended or torn views)
+  // is a replay-protection hole.
+  const int kVersions = 4;
+  std::vector<std::string> docs, views;
+  auto rules = access::ParseRuleList("+ /Hospital/Folder/MedActs\n").take();
+  for (int v = 0; v < kVersions; ++v) {
+    docs.push_back(
+        TestDocument(/*folders=*/6, ("v" + std::to_string(v)).c_str()));
+    views.push_back(DirectView(docs.back(), rules));
+  }
+  server::DocumentService service;
+  CHECK_OK(service.Publish("doc", docs[0], TestConfig(index::Variant::kTcsbr)));
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad_views{0}, wrong_errors{0}, completed{0};
+  std::vector<std::thread> servers;
+  for (int t = 0; t < 4; ++t) {
+    servers.emplace_back([&]() {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto report =
+            service.Serve("doc", rules, pipeline::ServeOptions());
+        if (report.ok()) {
+          completed.fetch_add(1);
+          bool known = false;
+          for (const std::string& view : views) {
+            known |= report.value().view == view;
+          }
+          if (!known) bad_views.fetch_add(1);
+        } else if (report.status().code() != StatusCode::kIntegrityError) {
+          wrong_errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int v = 1; v < kVersions; ++v) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    CHECK_OK(service.Update("doc", docs[v]));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true);
+  for (auto& th : servers) th.join();
+  CHECK_EQ(bad_views.load(), 0);
+  CHECK_EQ(wrong_errors.load(), 0);
+  CHECK(completed.load() > 0);  // The race must not starve every serve.
+}
+
+TEST(StaleCacheNeverVouchesForBumpedContent) {
+  // Defense in depth: a decryptor handed a shared cache stamped with the
+  // wrong version must not consult it (it falls back to a private one) —
+  // otherwise one version's authenticated hashes could waive material for
+  // another's bytes.
+  crypto::ChunkLayout layout;
+  layout.chunk_size = 64;
+  layout.fragment_size = 8;
+  auto stale_cache = std::make_shared<crypto::VerifiedDigestCache>(
+      layout.fragments_per_chunk(), 8, /*version=*/0);
+  crypto::SoeDecryptor soe(TestKey(), layout, /*plaintext_size=*/200,
+                           /*chunk_count=*/4, /*expected_version=*/1,
+                           /*digest_cache_capacity=*/8, stale_cache);
+  // The decryptor's cache is private: recording into the stale shared
+  // instance must not make ranges bare-verifiable for this serve.
+  std::vector<crypto::Sha1Digest> leaves(8);
+  stale_cache->Record(0, crypto::Sha1Digest{}, 0, leaves, {});
+  CHECK(stale_cache->CanVerifyBare(0, 0, 7));
+  CHECK(!soe.CanVerifyBare(0, 0, 7));
+}
+
+}  // namespace

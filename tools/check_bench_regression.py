@@ -62,6 +62,31 @@ def main():
                     f'deferred_mode/{strategy}: {key} {cur[key]} > '
                     f'baseline {ref[key]} (+{tolerance:.0%})')
 
+    # Shared-cache economics must not regress: a warm serve that starts
+    # re-shipping tree hashes or digests has lost cross-serve sharing, and
+    # its wire bytes are gated like every other scenario. The absolute
+    # gates depend only on the fresh run, so they apply even against a
+    # baseline predating the warm_cache section.
+    if "warm_cache" not in fresh:
+        rc |= fail("warm_cache section missing from fresh run")
+    else:
+        warm = fresh["warm_cache"]["warm"]
+        if warm["proof_hashes_shipped"] != 0 or warm["digest_bytes_shipped"] != 0:
+            rc |= fail(
+                'warm_cache/warm: integrity material re-shipped '
+                f'({warm["proof_hashes_shipped"]} hashes, '
+                f'{warm["digest_bytes_shipped"]} digest bytes)')
+        if not fresh["warm_cache"].get("warm_under_60_percent", False):
+            rc |= fail("warm_cache: warm serve not under 60% of cold wire")
+        if "warm_cache" in baseline:
+            for serve in ("cold", "warm"):
+                ref = baseline["warm_cache"][serve]
+                cur = fresh["warm_cache"][serve]
+                if cur["wire_bytes"] > ref["wire_bytes"] * (1 + tolerance):
+                    rc |= fail(
+                        f'warm_cache/{serve}: wire_bytes {cur["wire_bytes"]} '
+                        f'> baseline {ref["wire_bytes"]} (+{tolerance:.0%})')
+
     if not fresh.get("checks_passed", False):
         rc |= fail("bench-internal checks failed")
     if rc == 0:

@@ -5,7 +5,7 @@
 // hashes, and how much the evaluator-driven skip navigation prunes —
 // while asserting every variant serves the byte-identical authorized view.
 //
-// Results are written as JSON (default BENCH_PR4.json) so successive PRs
+// Results are written as JSON (default BENCH_PR5.json) so successive PRs
 // can diff the perf trajectory. Alongside the byte counters each variant
 // now carries wall-clock stage timings (fetch / decrypt / hash / evaluate,
 // ns and MB/s) — byte counts alone cannot show CPU wins. The run exits
@@ -13,7 +13,12 @@
 // fail to *strictly* reduce transferred and decrypted bytes against TCS
 // on the pruning scenarios — the paper's headline claim — if the batched
 // fetch planner regresses (closed-world TC must stay within 40 round
-// trips and under NC's wire bytes), or if the deferred-mode section
+// trips and under NC's wire bytes), if any skip-enabled serve pays more
+// wire than full streaming of the same variant plus the per-chunk digest
+// slack (the PR 5 cost-model gate: skipping must pay for itself), if the
+// warm_cache section (second serve of one document through a shared
+// DocumentService cache) re-ships any tree hash or fails to land under
+// 60% of the cold serve's wire bytes, or if the deferred-mode section
 // (pending predicate guarding the document's largest subtrees) breaches
 // the pending-buffer budget: peak buffered bytes must stay under it while
 // the authorized view stays byte-identical.
@@ -31,6 +36,7 @@
 #include "index/secure_fetcher.h"
 #include "index/variants.h"
 #include "pipeline/secure_pipeline.h"
+#include "server/document_service.h"
 #include "xml/sax_parser.h"
 #include "xml/serializer.h"
 
@@ -174,6 +180,8 @@ struct VariantRun {
   uint64_t requests = 0;
   uint64_t segments = 0;
   uint64_t bare_chunk_reads = 0;
+  uint64_t proof_hashes_shipped = 0;
+  uint64_t digest_bytes_shipped = 0;
   uint64_t gap_fragments_bridged = 0;
   uint64_t skips = 0;
   uint64_t skipped_bytes = 0;
@@ -182,7 +190,8 @@ struct VariantRun {
   uint64_t peak_buffered_bytes = 0;
   uint64_t deferrals = 0;
   uint64_t rereads = 0;
-  uint64_t reread_bytes = 0;
+  uint64_t reread_bytes = 0;          ///< Bytes actually pulled in splices.
+  uint64_t reread_decoded_bytes = 0;  ///< Encoded span re-decoded.
   // Wall-clock stage timings of the skip-enabled serve.
   uint64_t serve_ns = 0;
   uint64_t fetch_ns = 0;
@@ -273,6 +282,8 @@ Result<VariantRun> RunVariant(const std::string& xml, index::Variant variant,
   run.requests = report.requests;
   run.segments = report.segments;
   run.bare_chunk_reads = report.bare_chunk_reads;
+  run.proof_hashes_shipped = report.proof_hashes_shipped;
+  run.digest_bytes_shipped = report.digest_bytes_shipped;
   run.gap_fragments_bridged = report.gap_fragments_bridged;
   run.skips = report.drive.skips;
   run.skipped_bytes = report.drive.skipped_bits / 8;
@@ -281,7 +292,8 @@ Result<VariantRun> RunVariant(const std::string& xml, index::Variant variant,
   run.peak_buffered_bytes = report.eval.peak_buffered_bytes;
   run.deferrals = report.drive.deferrals;
   run.rereads = report.drive.rereads;
-  run.reread_bytes = report.drive.reread_bits / 8;
+  run.reread_bytes = report.drive.reread_fetched_bytes;
+  run.reread_decoded_bytes = report.drive.reread_bits / 8;
   run.view = std::move(report.view);
   return run;
 }
@@ -398,7 +410,8 @@ bool RunDeferredMode(std::string* json, const crypto::ChunkLayout& layout) {
     *json += ", \"deferrals_granted\": " + u64(r.eval.deferrals_granted);
     *json += ", \"deferrals_denied\": " + u64(r.eval.deferrals_denied);
     *json += ", \"rereads\": " + u64(r.drive.rereads);
-    *json += ", \"reread_bytes\": " + u64(r.drive.reread_bits / 8);
+    *json += ", \"reread_bytes\": " + u64(r.drive.reread_fetched_bytes);
+    *json += ", \"reread_decoded_bytes\": " + u64(r.drive.reread_bits / 8);
     *json += ", \"bare_chunk_reads\": " + u64(r.bare_chunk_reads);
     *json += "}";
   };
@@ -417,6 +430,93 @@ bool RunDeferredMode(std::string* json, const crypto::ChunkLayout& layout) {
                : "false";
   *json += ",\n    \"budget_respected\": ";
   *json += d.value().eval.peak_buffered_bytes < kBudget ? "true" : "false";
+  *json += "\n  },\n";
+  return ok;
+}
+
+/// The cross-serve shared-cache scenario: one DocumentService, two
+/// sessions of the same document back to back. The first (cold) serve
+/// pays the Merkle material; the second starts warm — every proof is
+/// trimmed to nothing and every chunk read is bare, so its wire traffic is
+/// ciphertext only and must land under 60% of the cold serve's. This is
+/// also the needle workload's round-trip economics fix: each of the many
+/// small batches a needle serve issues stops carrying material entirely.
+/// Appends a "warm_cache" JSON object; returns false when a gate fails.
+bool RunWarmCache(std::string* json, int folders) {
+  const std::string xml = MakeDocument(folders, /*consults=*/3,
+                                       /*analyses=*/4);
+  server::DocumentConfig cfg;
+  cfg.variant = index::Variant::kTcsbr;
+  // A finer-grained layout than the main matrix: the integrity-overhead
+  // regime (proof hashes rival fragment payloads) is exactly where the
+  // shared cache pays, and where SOE-class devices with small RAM sit.
+  cfg.layout.chunk_size = 512;
+  cfg.layout.fragment_size = 32;
+  cfg.key = BenchKey();
+  server::DocumentService service;
+  if (!service.Publish("bench", xml, cfg).ok()) return false;
+  auto parsed = access::ParseRuleList("+ //Prescription\n");
+  if (!parsed.ok()) return false;
+  std::vector<access::AccessRule> rules = parsed.take();
+
+  pipeline::ServeOptions opts;
+  auto cold = service.Serve("bench", rules, opts);
+  auto warm = service.Serve("bench", rules, opts);
+  if (!cold.ok() || !warm.ok()) {
+    std::fprintf(stderr, "warm_cache: serve failed\n");
+    return false;
+  }
+
+  bool ok = true;
+  if (warm.value().view != cold.value().view) {
+    std::fprintf(stderr, "warm_cache: warm view diverges from cold\n");
+    ok = false;
+  }
+  if (warm.value().proof_hashes_shipped != 0 ||
+      warm.value().digest_bytes_shipped != 0) {
+    std::fprintf(stderr,
+                 "warm_cache: warm serve re-shipped integrity material "
+                 "(%llu hashes, %llu digest bytes) the shared cache holds\n",
+                 static_cast<unsigned long long>(
+                     warm.value().proof_hashes_shipped),
+                 static_cast<unsigned long long>(
+                     warm.value().digest_bytes_shipped));
+    ok = false;
+  }
+  if (warm.value().bare_chunk_reads == 0) {
+    std::fprintf(stderr, "warm_cache: no bare chunk reads on a warm serve\n");
+    ok = false;
+  }
+  if (warm.value().wire_bytes * 10 >= cold.value().wire_bytes * 6) {
+    std::fprintf(stderr,
+                 "warm_cache: warm wire %llu not under 60%% of cold %llu\n",
+                 static_cast<unsigned long long>(warm.value().wire_bytes),
+                 static_cast<unsigned long long>(cold.value().wire_bytes));
+    ok = false;
+  }
+
+  auto u64 = [](uint64_t v) { return std::to_string(v); };
+  auto emit = [&](const char* name, const pipeline::ServeReport& r) {
+    *json += std::string("    \"") + name + "\": {";
+    *json += "\"wire_bytes\": " + u64(r.wire_bytes);
+    *json += ", \"bytes_fetched\": " + u64(r.bytes_fetched);
+    *json += ", \"requests\": " + u64(r.requests);
+    *json += ", \"proof_hashes_shipped\": " + u64(r.proof_hashes_shipped);
+    *json += ", \"digest_bytes_shipped\": " + u64(r.digest_bytes_shipped);
+    *json += ", \"bare_chunk_reads\": " + u64(r.bare_chunk_reads);
+    *json += "}";
+  };
+  *json += "  \"warm_cache\": {\n";
+  *json += "    \"document_bytes\": " + u64(xml.size()) + ",\n";
+  *json += "    \"chunk_size\": " + u64(cfg.layout.chunk_size) +
+           ", \"fragment_size\": " + u64(cfg.layout.fragment_size) + ",\n";
+  emit("cold", cold.value());
+  *json += ",\n";
+  emit("warm", warm.value());
+  *json += ",\n    \"warm_under_60_percent\": ";
+  *json += warm.value().wire_bytes * 10 < cold.value().wire_bytes * 6
+               ? "true"
+               : "false";
   *json += "\n  },\n";
   return ok;
 }
@@ -444,6 +544,8 @@ void AppendVariantJson(std::string* json, const VariantRun& run,
   *json += ", \"requests\": " + u64(run.requests);
   *json += ", \"segments\": " + u64(run.segments);
   *json += ", \"bare_chunk_reads\": " + u64(run.bare_chunk_reads);
+  *json += ", \"proof_hashes_shipped\": " + u64(run.proof_hashes_shipped);
+  *json += ", \"digest_bytes_shipped\": " + u64(run.digest_bytes_shipped);
   *json += ", \"gap_fragments_bridged\": " + u64(run.gap_fragments_bridged);
   *json += ", \"subtree_skips\": " + u64(run.skips);
   *json += ", \"skipped_encoded_bytes\": " + u64(run.skipped_bytes);
@@ -453,6 +555,7 @@ void AppendVariantJson(std::string* json, const VariantRun& run,
   *json += ", \"deferrals\": " + u64(run.deferrals);
   *json += ", \"rereads\": " + u64(run.rereads);
   *json += ", \"reread_bytes\": " + u64(run.reread_bytes);
+  *json += ", \"reread_decoded_bytes\": " + u64(run.reread_decoded_bytes);
   // Wall-clock stage timings (per skip-enabled serve) and derived
   // throughputs; evaluate_ns is the unaccounted remainder (navigation +
   // rule automata + serialization).
@@ -484,7 +587,7 @@ void AppendVariantJson(std::string* json, const VariantRun& run,
 
 int main(int argc, char** argv) {
   int folders = 12;
-  std::string out_path = "BENCH_PR4.json";
+  std::string out_path = "BENCH_PR5.json";
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--quick") {
@@ -512,7 +615,7 @@ int main(int argc, char** argv) {
                          index::Variant::kTcsbr};
 
   std::string json = "{\n  \"benchmark\": \"csxa_skip_navigation\",\n";
-  json += "  \"pr\": 4,\n";
+  json += "  \"pr\": 5,\n";
   json += "  \"config\": {\"folders\": " + std::to_string(folders) +
           ", \"document_bytes\": " + std::to_string(xml.size()) +
           ", \"chunk_size\": " + std::to_string(layout.chunk_size) +
@@ -590,6 +693,27 @@ int main(int argc, char** argv) {
         ok = false;
       }
     }
+    // Skip-mode cost sanity, whole matrix (PR 5): a skip-enabled serve may
+    // never pay more wire than full streaming of the same variant beyond
+    // the per-chunk digest slack — the planner's proof-aware hole filling
+    // and stream-all fallback exist to guarantee it. (Full streaming ships
+    // one 24-byte digest per chunk too, but chunk-touch order can shift
+    // which serves trim them, hence the slack.)
+    for (const VariantRun& run : runs) {
+      const uint64_t chunks =
+          (run.encoded_bytes + layout.chunk_size - 1) / layout.chunk_size;
+      const uint64_t slack = chunks * 24;
+      if (run.wire_bytes > run.wire_bytes_full + slack) {
+        std::fprintf(stderr,
+                     "%s/%s: skip-mode wire %llu exceeds full streaming "
+                     "%llu + %llu slack (cost-model inversion)\n",
+                     sc.name.c_str(), VariantName(run.variant),
+                     static_cast<unsigned long long>(run.wire_bytes),
+                     static_cast<unsigned long long>(run.wire_bytes_full),
+                     static_cast<unsigned long long>(slack));
+        ok = false;
+      }
+    }
     if (sc.size_pruning && tcs.wire_bytes >= tc.wire_bytes) {
       std::fprintf(stderr,
                    "%s: expected TCS to transfer strictly less than TC "
@@ -619,6 +743,7 @@ int main(int argc, char** argv) {
 
   json += "  ],\n";
   if (!RunDeferredMode(&json, layout)) ok = false;
+  if (!RunWarmCache(&json, folders)) ok = false;
   json += "  \"checks_passed\": ";
   json += ok ? "true" : "false";
   json += "\n}\n";

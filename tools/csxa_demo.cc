@@ -233,6 +233,10 @@ int Run(const Options& opt) {
                 static_cast<unsigned long long>(pr.digest_cache.records),
                 static_cast<unsigned long long>(pr.digest_cache.bare_hits),
                 static_cast<unsigned long long>(pr.digest_cache.evictions));
+    std::printf("  integrity material   %8llu tree hash(es) + %llu digest "
+                "bytes shipped\n",
+                static_cast<unsigned long long>(pr.proof_hashes_shipped),
+                static_cast<unsigned long long>(pr.digest_bytes_shipped));
     std::printf("  decrypted in SOE     %8llu bytes\n",
                 static_cast<unsigned long long>(pr.soe.bytes_decrypted));
     std::printf("  hashed in SOE        %8llu bytes\n",
@@ -253,10 +257,11 @@ int Run(const Options& opt) {
                 pr.eval.peak_buffered,
                 static_cast<unsigned long long>(pr.eval.peak_buffered_bytes));
     std::printf("  subtrees deferred    %8llu (granted %llu, denied %llu; "
-                "%llu bytes re-read)\n",
+                "%llu bytes re-pulled of %llu re-decoded)\n",
                 static_cast<unsigned long long>(pr.drive.deferrals),
                 static_cast<unsigned long long>(pr.eval.deferrals_granted),
                 static_cast<unsigned long long>(pr.eval.deferrals_denied),
+                static_cast<unsigned long long>(pr.drive.reread_fetched_bytes),
                 static_cast<unsigned long long>(pr.drive.reread_bits / 8));
   }
 
