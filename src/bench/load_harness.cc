@@ -1,0 +1,353 @@
+#include "bench/load_harness.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "access/access_rule.h"
+#include "access/rule_evaluator.h"
+#include "common/clock.h"
+#include "pipeline/secure_pipeline.h"
+#include "server/document_service.h"
+#include "xml/sax_parser.h"
+#include "xml/serializer.h"
+
+namespace csxa::bench {
+
+namespace {
+
+/// Same splitmix64 as the corpus generator: worker schedules must be a
+/// pure function of (seed, thread) so two runs differ only by OS timing.
+struct Rng {
+  uint64_t state;
+  uint64_t Next() {
+    state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  uint64_t Below(uint64_t n) { return Next() % n; }
+};
+
+crypto::TripleDes::Key LoadKey(uint64_t seed) {
+  crypto::TripleDes::Key key{};
+  Rng rng{seed ^ 0x5ca1ab1eULL};
+  for (size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<uint8_t>(rng.Next());
+  }
+  return key;
+}
+
+/// The single-session reference: a direct SAX pass over the plaintext
+/// through the same evaluator/serializer — no store, no crypto, no
+/// concurrency. What every served view is byte-checked against.
+Result<std::string> DirectView(const std::string& xml,
+                               const std::vector<access::AccessRule>& rules) {
+  xml::SerializingHandler ser;
+  access::RuleEvaluator eval(rules, &ser);
+  CSXA_RETURN_NOT_OK(xml::SaxParser::Parse(xml, &eval));
+  CSXA_RETURN_NOT_OK(eval.Finish());
+  return ser.output();
+}
+
+/// Role ranks ordered by intended popularity: the cheap read-mostly roles
+/// dominate (needle, closed world), the expensive predicate roles tail.
+const RuleFamily kRoleByRank[] = {
+    RuleFamily::kNeedle, RuleFamily::kClosedWorld, RuleFamily::kGuarded,
+    RuleFamily::kPredicateHeavy};
+constexpr int kRoles = 4;
+
+/// Zipf-ish sampler over the 4 role ranks: P(rank r) ∝ 1/(r+1)^s.
+struct ZipfRoles {
+  double cumulative[kRoles];
+
+  explicit ZipfRoles(double s) {
+    double total = 0;
+    for (int r = 0; r < kRoles; ++r) total += 1.0 / std::pow(r + 1, s);
+    double acc = 0;
+    for (int r = 0; r < kRoles; ++r) {
+      acc += 1.0 / std::pow(r + 1, s) / total;
+      cumulative[r] = acc;
+    }
+    cumulative[kRoles - 1] = 1.0;
+  }
+  int Pick(Rng* rng) const {
+    const double u =
+        static_cast<double>(rng->Below(1u << 30)) / (1u << 30);
+    for (int r = 0; r < kRoles; ++r) {
+      if (u < cumulative[r]) return r;
+    }
+    return kRoles - 1;
+  }
+};
+
+uint64_t Percentile(const std::vector<uint64_t>& sorted, int p) {
+  if (sorted.empty()) return 0;
+  const size_t idx = (sorted.size() - 1) * static_cast<size_t>(p) / 100;
+  return sorted[idx];
+}
+
+void AppendField(std::string* out, const char* name, uint64_t v,
+                 bool comma = true) {
+  *out += std::string("\"") + name + "\": " + std::to_string(v);
+  if (comma) *out += ", ";
+}
+
+}  // namespace
+
+uint64_t ReadPeakRssKb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = std::strtoull(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+Result<LoadReport> RunLoad(const LoadConfig& config) {
+  if (config.families.empty() || config.threads <= 0 ||
+      config.serves_per_thread <= 0) {
+    return Status::InvalidArgument("load config needs families and threads");
+  }
+  const int versions = config.version_bumps + 1;
+
+  // ---- Publish phase: corpora, references, version 0 -------------------
+  struct Doc {
+    std::string id;
+    CorpusFamily family;
+    std::vector<std::string> version_xml;  ///< [version]
+    uint64_t max_depth = 0;
+    std::vector<access::AccessRule> roles[kRoles];
+    /// views[version][role]: the single-session reference matrix.
+    std::vector<std::vector<std::string>> views;
+  };
+  std::vector<Doc> docs;
+  server::DocumentService service;
+  for (CorpusFamily family : config.families) {
+    Doc doc;
+    doc.id = FamilyName(family);
+    doc.family = family;
+    for (int v = 0; v < versions; ++v) {
+      Corpus corpus = GenerateCorpus(
+          {family, config.seed + static_cast<uint64_t>(v),
+           config.target_bytes, /*depth=*/0});
+      if (v == 0) doc.max_depth = corpus.max_depth;
+      doc.version_xml.push_back(std::move(corpus.xml));
+    }
+    for (int r = 0; r < kRoles; ++r) {
+      CSXA_ASSIGN_OR_RETURN(
+          doc.roles[r],
+          access::ParseRuleList(RulesFor(family, kRoleByRank[r])));
+    }
+    doc.views.resize(versions);
+    for (int v = 0; v < versions; ++v) {
+      for (int r = 0; r < kRoles; ++r) {
+        CSXA_ASSIGN_OR_RETURN(std::string view,
+                              DirectView(doc.version_xml[v], doc.roles[r]));
+        doc.views[v].push_back(std::move(view));
+      }
+    }
+    server::DocumentConfig cfg;
+    cfg.variant = config.variant;
+    cfg.layout = config.layout;
+    cfg.key = LoadKey(config.seed);
+    cfg.shared_cache_capacity = config.shared_cache_capacity;
+    CSXA_RETURN_NOT_OK(service.Publish(doc.id, doc.version_xml[0], cfg));
+    docs.push_back(std::move(doc));
+  }
+
+  // ---- Racing phase: worker pool vs churn thread -----------------------
+  std::mutex mu;
+  std::vector<uint64_t> latencies;
+  std::atomic<uint64_t> attempted{0}, completed{0}, rejections{0};
+  std::atomic<uint64_t> wrong_errors{0}, mismatches{0}, wire_total{0};
+  std::vector<uint64_t> doc_completed(docs.size(), 0);
+  std::vector<uint64_t> doc_rejections(docs.size(), 0);
+  const ZipfRoles zipf(config.zipf_s);
+
+  auto serve_once = [&](size_t d, int role, uint64_t budget,
+                        bool racing) {
+    Doc& doc = docs[d];
+    pipeline::ServeOptions opts;
+    opts.pending_buffer_budget = budget;
+    attempted.fetch_add(1);
+    const uint64_t t0 = NowNs();
+    auto report = service.Serve(doc.id, doc.roles[role], opts);
+    const uint64_t dt = NowNs() - t0;
+    if (report.ok()) {
+      completed.fetch_add(1);
+      wire_total.fetch_add(report.value().wire_bytes);
+      bool known = false;
+      for (int v = 0; v < versions && !known; ++v) {
+        known = report.value().view == doc.views[v][role];
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      latencies.push_back(dt);
+      doc_completed[d]++;
+      if (!known) mismatches.fetch_add(1);
+    } else if (racing &&
+               report.status().code() == StatusCode::kIntegrityError) {
+      // A bump raced this serve: failing closed is the contract.
+      rejections.fetch_add(1);
+      std::lock_guard<std::mutex> lock(mu);
+      doc_rejections[d]++;
+    } else {
+      // Outside a race, or with a non-integrity code, a failure is a bug.
+      wrong_errors.fetch_add(1);
+    }
+  };
+
+  const uint64_t wall0 = NowNs();
+  std::vector<std::thread> workers;
+  workers.reserve(config.threads);
+  for (int t = 0; t < config.threads; ++t) {
+    workers.emplace_back([&, t]() {
+      Rng rng{config.seed * 31 + static_cast<uint64_t>(t) * 7919};
+      for (int i = 0; i < config.serves_per_thread; ++i) {
+        const size_t d = rng.Below(docs.size());
+        const int role = zipf.Pick(&rng);
+        // Every third serve runs under a tight deferral budget, mixing
+        // the skip-now-reread-later strategy into the traffic.
+        const uint64_t budget =
+            rng.Below(3) == 0 ? uint64_t{4096} : UINT64_MAX;
+        serve_once(d, role, budget, /*racing=*/true);
+      }
+    });
+  }
+  std::thread churn([&]() {
+    // Spread the bumps across the racing phase so early and late serves
+    // see different versions; failures here are programming errors, not
+    // load outcomes, so they surface as wrong_errors.
+    for (int v = 1; v < versions; ++v) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      for (Doc& doc : docs) {
+        if (!service.Update(doc.id, doc.version_xml[v]).ok()) {
+          wrong_errors.fetch_add(1);
+        }
+      }
+    }
+  });
+  for (std::thread& w : workers) w.join();
+  churn.join();
+
+  // ---- Warm sweep: deterministic, single-threaded, final version -------
+  if (config.warm_sweep) {
+    for (size_t d = 0; d < docs.size(); ++d) {
+      for (int r = 0; r < kRoles; ++r) {
+        serve_once(d, r, UINT64_MAX, /*racing=*/false);
+        serve_once(d, r, UINT64_MAX, /*racing=*/false);
+      }
+    }
+  }
+  const uint64_t wall = NowNs() - wall0;
+
+  // ---- Report ----------------------------------------------------------
+  LoadReport report;
+  report.corpus_bytes = config.target_bytes;
+  report.threads = config.threads;
+  report.serves_per_thread = config.serves_per_thread;
+  report.version_bumps = config.version_bumps;
+  report.serves_attempted = attempted.load();
+  report.serves_completed = completed.load();
+  report.integrity_rejections = rejections.load();
+  report.wrong_errors = wrong_errors.load();
+  report.view_mismatches = mismatches.load();
+  report.wall_ns = wall;
+  report.serves_per_sec =
+      wall == 0 ? 0.0
+                : static_cast<double>(completed.load()) * 1e9 /
+                      static_cast<double>(wall);
+  std::sort(latencies.begin(), latencies.end());
+  report.p50_ns = Percentile(latencies, 50);
+  report.p95_ns = Percentile(latencies, 95);
+  report.p99_ns = Percentile(latencies, 99);
+  report.wire_bytes_total = wire_total.load();
+  report.peak_rss_kb = ReadPeakRssKb();
+
+  uint64_t hits = 0, misses = 0;
+  for (size_t d = 0; d < docs.size(); ++d) {
+    LoadReport::DocReport dr;
+    dr.family = docs[d].id;
+    dr.document_bytes = docs[d].version_xml[0].size();
+    dr.max_depth = docs[d].max_depth;
+    dr.serves_completed = doc_completed[d];
+    dr.integrity_rejections = doc_rejections[d];
+    auto version = service.CurrentVersion(docs[d].id);
+    dr.versions = version.ok() ? version.value() + 1 : 0;
+    auto stats = service.CacheStats(docs[d].id);
+    if (stats.ok()) {
+      dr.cache = stats.value();
+      hits += dr.cache.bare_hits;
+      misses += dr.cache.misses;
+    }
+    report.docs.push_back(std::move(dr));
+  }
+  report.cache_hit_rate =
+      hits + misses == 0
+          ? 0.0
+          : static_cast<double>(hits) / static_cast<double>(hits + misses);
+  return report;
+}
+
+void LoadReport::AppendJson(std::string* out,
+                            const std::string& indent) const {
+  char buf[128];
+  *out += "{\n" + indent + "  ";
+  AppendField(out, "corpus_bytes", corpus_bytes);
+  AppendField(out, "threads", static_cast<uint64_t>(threads));
+  AppendField(out, "serves_per_thread",
+              static_cast<uint64_t>(serves_per_thread));
+  AppendField(out, "version_bumps", static_cast<uint64_t>(version_bumps),
+              false);
+  *out += ",\n" + indent + "  ";
+  AppendField(out, "serves_attempted", serves_attempted);
+  AppendField(out, "serves_completed", serves_completed);
+  AppendField(out, "integrity_rejections", integrity_rejections);
+  AppendField(out, "wrong_errors", wrong_errors);
+  AppendField(out, "view_mismatches", view_mismatches, false);
+  *out += ",\n" + indent + "  ";
+  AppendField(out, "wall_ns", wall_ns);
+  std::snprintf(buf, sizeof(buf), "\"serves_per_sec\": %.2f, ",
+                serves_per_sec);
+  *out += buf;
+  AppendField(out, "p50_ns", p50_ns);
+  AppendField(out, "p95_ns", p95_ns);
+  AppendField(out, "p99_ns", p99_ns, false);
+  *out += ",\n" + indent + "  ";
+  AppendField(out, "wire_bytes_total", wire_bytes_total);
+  std::snprintf(buf, sizeof(buf), "\"cache_hit_rate\": %.3f, ",
+                cache_hit_rate);
+  *out += buf;
+  AppendField(out, "peak_rss_kb", peak_rss_kb, false);
+  *out += ",\n" + indent + "  \"documents\": [\n";
+  for (size_t d = 0; d < docs.size(); ++d) {
+    const DocReport& dr = docs[d];
+    *out += indent + "    {\"family\": \"" + dr.family + "\", ";
+    AppendField(out, "document_bytes", dr.document_bytes);
+    AppendField(out, "max_depth", dr.max_depth);
+    AppendField(out, "versions", dr.versions);
+    AppendField(out, "serves_completed", dr.serves_completed);
+    AppendField(out, "integrity_rejections", dr.integrity_rejections);
+    AppendField(out, "cache_bare_hits", dr.cache.bare_hits);
+    AppendField(out, "cache_misses", dr.cache.misses);
+    AppendField(out, "cache_records", dr.cache.records);
+    AppendField(out, "cache_evictions", dr.cache.evictions, false);
+    *out += "}";
+    *out += d + 1 < docs.size() ? ",\n" : "\n";
+  }
+  *out += indent + "  ]\n" + indent + "}";
+}
+
+}  // namespace csxa::bench

@@ -317,13 +317,23 @@ Status SoeDecryptor::VerifyChunkAgainstMaterial(
   // terminal did not ship must already sit, authenticated, in the cache.
   // (Shipped hashes are vouched for by the root comparison below; cached
   // ones were vouched for when they were recorded.)
+  //
+  // The shipped proof is also held to exactly the sibling positions this
+  // range can consume. A node at any other position would never enter the
+  // root recomputation, so the digest could not vouch for it — yet
+  // Record() below remembers the shipped proof for bare re-reads. Without
+  // this check a terminal could ride a forged hash (or a duplicate of a
+  // real position) into the cache alongside an honest response and have a
+  // later proof-trimmed serve trust it: cache poisoning.
   std::vector<ProofNode> proof = mat.proof;
+  std::vector<ProofNode> needed;
   {
     const uint32_t frags = layout_.fragments_per_chunk();
     uint64_t lo = mat.first_fragment, hi = mat.last_fragment;
     for (int level = 0; (frags >> level) > 1; ++level, lo /= 2, hi /= 2) {
       const uint64_t width = frags >> level;
       auto supply = [&](uint64_t idx) {
+        needed.push_back({level, idx, Sha1Digest{}});
         for (const ProofNode& node : proof) {
           if (node.level == level && node.index == idx) return;
         }
@@ -334,6 +344,26 @@ Status SoeDecryptor::VerifyChunkAgainstMaterial(
       };
       if (lo % 2 == 1) supply(lo - 1);
       if (hi % 2 == 0 && hi + 1 < width) supply(hi + 1);
+    }
+  }
+  for (size_t i = 0; i < mat.proof.size(); ++i) {
+    const ProofNode& node = mat.proof[i];
+    bool consumed = false;
+    for (const ProofNode& want : needed) {
+      if (want.level == node.level && want.index == node.index) {
+        consumed = true;
+        break;
+      }
+    }
+    for (size_t j = 0; consumed && j < i; ++j) {
+      if (mat.proof[j].level == node.level &&
+          mat.proof[j].index == node.index) {
+        consumed = false;  // Duplicate position: only the first is used.
+      }
+    }
+    if (!consumed) {
+      return Status::IntegrityError(
+          "merkle proof carries a node the range does not need");
     }
   }
   Result<Sha1Digest> root = MerkleTree::RootFromRange(

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "crypto/wire_format.h"
 #include "index/encoder.h"
 #include "xml/sax_parser.h"
 
@@ -11,15 +12,31 @@ namespace internal {
 
 Result<crypto::BatchResponse> DocumentEntry::ReadBatch(
     const crypto::BatchRequest& request) const {
+  // The terminal link speaks the wire format even in-process: the request
+  // and response frames are serialized and re-parsed on every round trip,
+  // so the length-checked decoder (the attacker-controlled surface a real
+  // transport will expose) is exercised by every serve of every test, not
+  // only by the fuzz corpus.
+  std::vector<uint8_t> request_frame;
+  crypto::EncodeBatchRequest(request, &request_frame);
+  CSXA_ASSIGN_OR_RETURN(
+      crypto::BatchRequest decoded_request,
+      crypto::DecodeBatchRequest(request_frame.data(), request_frame.size()));
+
   std::shared_ptr<const DocumentState> state = Current();
   const uint64_t size = state->store.ciphertext().size();
-  for (const crypto::BatchRequest::Run& run : request.runs) {
+  for (const crypto::BatchRequest::Run& run : decoded_request.runs) {
     if (run.end > size) {
       return Status::IntegrityError(
           "stale session: batch range beyond the current document version");
     }
   }
-  return state->store.ReadBatch(request);
+  CSXA_ASSIGN_OR_RETURN(crypto::BatchResponse response,
+                        state->store.ReadBatch(decoded_request));
+  std::vector<uint8_t> response_frame;
+  crypto::EncodeBatchResponse(response, &response_frame);
+  return crypto::DecodeBatchResponse(response_frame.data(),
+                                     response_frame.size());
 }
 
 }  // namespace internal

@@ -87,6 +87,82 @@ def main():
                         f'warm_cache/{serve}: wire_bytes {cur["wire_bytes"]} '
                         f'> baseline {ref["wire_bytes"]} (+{tolerance:.0%})')
 
+    # Corpus generator (PR 6): every number in the section is a pure
+    # function of (family, seed, target_bytes) — platform-independent PRNG,
+    # no timing — so any drift against the committed baseline is an
+    # unintended generator or evaluator change. Gated exactly, bit-for-bit.
+    if "corpus" not in fresh:
+        rc |= fail("corpus section missing from fresh run")
+    elif "corpus" in baseline:
+        same_spec = (
+            fresh["corpus"]["target_bytes"] == baseline["corpus"]["target_bytes"]
+            and fresh["corpus"]["seed"] == baseline["corpus"]["seed"])
+        base_families = {f["family"]: f
+                         for f in baseline["corpus"]["families"]}
+        for family in fresh["corpus"]["families"] if same_spec else []:
+            ref = base_families.get(family["family"])
+            if ref is None:
+                continue
+            where = f'corpus/{family["family"]}'
+            for key in ("document_bytes", "records", "max_depth"):
+                if family[key] != ref[key]:
+                    rc |= fail(
+                        f'{where}: {key} {family[key]} != deterministic '
+                        f'baseline {ref[key]}')
+            base_rules = {r["rules"]: r for r in ref["rule_families"]}
+            for rules in family["rule_families"]:
+                ref_rules = base_rules.get(rules["rules"])
+                if ref_rules is None:
+                    continue
+                for key in ("rule_count", "view_bytes"):
+                    if rules[key] != ref_rules[key]:
+                        rc |= fail(
+                            f'{where}/{rules["rules"]}: {key} {rules[key]} '
+                            f'!= deterministic baseline {ref_rules[key]}')
+
+    # Load harness (PR 6): correctness outcomes are machine-independent and
+    # gated hard — every completed view byte-identical to a reference
+    # (view_mismatches 0), every failure a clean stale-session
+    # IntegrityError (wrong_errors 0), every attempt accounted for. The
+    # cache hit rate is floored against baseline (the post-churn warm sweep
+    # makes its floor schedule-independent); serves/sec and latency are
+    # machine-dependent and never gated.
+    if "load" not in fresh:
+        rc |= fail("load section missing from fresh run")
+    else:
+        load = fresh["load"]
+        if load["serves_completed"] == 0:
+            rc |= fail("load: no serve completed")
+        if load["view_mismatches"] != 0:
+            rc |= fail(
+                f'load: {load["view_mismatches"]} completed views matched '
+                f'no published version')
+        if load["wrong_errors"] != 0:
+            rc |= fail(
+                f'load: {load["wrong_errors"]} failures were not clean '
+                f'IntegrityErrors')
+        accounted = load["serves_completed"] + load["integrity_rejections"]
+        if accounted != load["serves_attempted"]:
+            rc |= fail(
+                f'load: {accounted} outcomes for '
+                f'{load["serves_attempted"]} attempts')
+        if "load" in baseline:
+            ref = baseline["load"]
+            same_config = all(
+                load[k] == ref[k]
+                for k in ("corpus_bytes", "threads", "serves_per_thread",
+                          "version_bumps"))
+            if same_config:
+                if load["serves_attempted"] != ref["serves_attempted"]:
+                    rc |= fail(
+                        f'load: serves_attempted {load["serves_attempted"]} '
+                        f'!= deterministic baseline {ref["serves_attempted"]}')
+                floor = ref["cache_hit_rate"] * 0.8
+                if load["cache_hit_rate"] < floor:
+                    rc |= fail(
+                        f'load: cache_hit_rate {load["cache_hit_rate"]:.3f} '
+                        f'under baseline floor {floor:.3f}')
+
     if not fresh.get("checks_passed", False):
         rc |= fail("bench-internal checks failed")
     if rc == 0:

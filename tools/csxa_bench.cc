@@ -5,7 +5,7 @@
 // hashes, and how much the evaluator-driven skip navigation prunes —
 // while asserting every variant serves the byte-identical authorized view.
 //
-// Results are written as JSON (default BENCH_PR5.json) so successive PRs
+// Results are written as JSON (default BENCH_PR6.json) so successive PRs
 // can diff the perf trajectory. Alongside the byte counters each variant
 // now carries wall-clock stage timings (fetch / decrypt / hash / evaluate,
 // ns and MB/s) — byte counts alone cannot show CPU wins. The run exits
@@ -22,6 +22,21 @@
 // (pending predicate guarding the document's largest subtrees) breaches
 // the pending-buffer budget: peak buffered bytes must stay under it while
 // the authorized view stays byte-identical.
+//
+// Two corpus-scale sections ride along (PR 6). "corpus" runs the seeded
+// generator over every family and gates its determinism (same spec →
+// byte-identical corpus) and the rule-set-size invariance (absent-tag
+// rules grow the automata, the view must not change); its counters are
+// exactly reproducible, so the regression script diffs them bit-for-bit.
+// "load" embeds the service-level load harness — a thread pool of mixed-
+// role sessions racing concurrent version bumps over generated corpora —
+// and gates its correctness outcomes (every completed view byte-identical
+// to a single-session reference; every failure a clean IntegrityError).
+//
+// The scenario matrix source is flag-driven: --folders/--chunk/--fragment
+// resize the hand-built hospital document and layout; --corpus FAMILY
+// swaps in a generated corpus with its matched rule families (exploratory:
+// the strict pruning gates assume the hand-built document and are skipped).
 
 #include <cstdint>
 #include <cstdio>
@@ -29,6 +44,8 @@
 #include <vector>
 
 #include "access/access_rule.h"
+#include "bench/corpus.h"
+#include "bench/load_harness.h"
 #include "common/clock.h"
 #include "access/rule_evaluator.h"
 #include "common/status.h"
@@ -521,6 +538,132 @@ bool RunWarmCache(std::string* json, int folders) {
   return ok;
 }
 
+/// The single-session reference view: plaintext SAX pass, no crypto.
+Result<std::string> DirectView(const std::string& xml,
+                               const std::vector<access::AccessRule>& rules) {
+  xml::SerializingHandler ser;
+  access::RuleEvaluator eval(rules, &ser);
+  CSXA_RETURN_NOT_OK(xml::SaxParser::Parse(xml, &eval));
+  CSXA_RETURN_NOT_OK(eval.Finish());
+  return ser.output();
+}
+
+/// The corpus-generator section: every family at `corpus_bytes`, with its
+/// four matched rule families evaluated by a direct SAX pass. Everything
+/// here is a pure function of (family, seed, size), so the regression
+/// script diffs the counters exactly. In-bench gates: generation is
+/// deterministic (regenerating yields byte-identical XML), every corpus
+/// reaches its target size, and appending absent-tag rules (the rule-set-
+/// size axis of the paper's complexity experiment) never changes a view.
+/// Appends a "corpus" JSON array; returns false when a gate fails.
+bool RunCorpusSection(std::string* json, uint64_t corpus_bytes) {
+  bool ok = true;
+  auto u64 = [](uint64_t v) { return std::to_string(v); };
+  *json += "  \"corpus\": {\n";
+  *json += "    \"target_bytes\": " + u64(corpus_bytes) +
+           ", \"seed\": 1,\n    \"families\": [\n";
+  const std::vector<bench::CorpusFamily> families = bench::AllFamilies();
+  for (size_t i = 0; i < families.size(); ++i) {
+    const bench::CorpusFamily family = families[i];
+    bench::CorpusSpec spec;
+    spec.family = family;
+    spec.seed = 1;
+    spec.target_bytes = corpus_bytes;
+    const bench::Corpus corpus = bench::GenerateCorpus(spec);
+    if (bench::GenerateCorpus(spec).xml != corpus.xml) {
+      std::fprintf(stderr, "corpus/%s: generation is not deterministic\n",
+                   bench::FamilyName(family));
+      ok = false;
+    }
+    if (corpus.xml.size() < corpus_bytes) {
+      std::fprintf(stderr, "corpus/%s: %zu bytes under the %llu target\n",
+                   bench::FamilyName(family), corpus.xml.size(),
+                   static_cast<unsigned long long>(corpus_bytes));
+      ok = false;
+    }
+    *json += std::string("      {\"family\": \"") +
+             bench::FamilyName(family) + "\"";
+    *json += ", \"document_bytes\": " + u64(corpus.xml.size());
+    *json += ", \"records\": " + u64(corpus.records);
+    *json += ", \"max_depth\": " + u64(corpus.max_depth);
+    *json += ", \"rule_families\": [";
+    const std::vector<bench::RuleFamily> rule_families =
+        bench::AllRuleFamilies();
+    for (size_t r = 0; r < rule_families.size(); ++r) {
+      const bench::RuleFamily rf = rule_families[r];
+      auto rules = access::ParseRuleList(bench::RulesFor(family, rf));
+      auto grown = access::ParseRuleList(
+          bench::RulesFor(family, rf, /*extra_absent_rules=*/8));
+      if (!rules.ok() || !grown.ok()) {
+        std::fprintf(stderr, "corpus/%s/%s: bad rules\n",
+                     bench::FamilyName(family), bench::RuleFamilyName(rf));
+        return false;
+      }
+      auto view = DirectView(corpus.xml, rules.value());
+      auto grown_view = DirectView(corpus.xml, grown.value());
+      if (!view.ok() || !grown_view.ok()) {
+        std::fprintf(stderr, "corpus/%s/%s: direct view failed\n",
+                     bench::FamilyName(family), bench::RuleFamilyName(rf));
+        return false;
+      }
+      if (view.value() != grown_view.value()) {
+        std::fprintf(stderr,
+                     "corpus/%s/%s: absent-tag rules changed the view\n",
+                     bench::FamilyName(family), bench::RuleFamilyName(rf));
+        ok = false;
+      }
+      *json += std::string("{\"rules\": \"") + bench::RuleFamilyName(rf) +
+               "\", \"rule_count\": " + u64(rules.value().size()) +
+               ", \"view_bytes\": " + u64(view.value().size()) + "}";
+      *json += r + 1 < rule_families.size() ? ", " : "";
+    }
+    *json += "]}";
+    *json += i + 1 < families.size() ? ",\n" : "\n";
+  }
+  *json += "    ]\n  },\n";
+  return ok;
+}
+
+/// The service-level load section: embeds the load harness (paper families
+/// by default) and gates the outcomes that must hold on any machine —
+/// every completed view byte-identical to a reference, every failure a
+/// clean stale-session IntegrityError, the warm sweep hitting the shared
+/// cache. Throughput and latency are published, never gated here (the
+/// regression script applies its own generous tolerance).
+/// Appends a "load" JSON object; returns false when a gate fails.
+bool RunLoadSection(std::string* json, const bench::LoadConfig& config) {
+  auto result = bench::RunLoad(config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "load: %s\n", result.status().ToString().c_str());
+    return false;
+  }
+  const bench::LoadReport& report = result.value();
+  bool ok = true;
+  if (report.serves_completed == 0) {
+    std::fprintf(stderr, "load: no serve completed\n");
+    ok = false;
+  }
+  if (report.view_mismatches != 0) {
+    std::fprintf(stderr, "load: %llu completed views matched no version\n",
+                 static_cast<unsigned long long>(report.view_mismatches));
+    ok = false;
+  }
+  if (report.wrong_errors != 0) {
+    std::fprintf(stderr,
+                 "load: %llu failures were not clean IntegrityErrors\n",
+                 static_cast<unsigned long long>(report.wrong_errors));
+    ok = false;
+  }
+  if (report.cache_hit_rate <= 0.0) {
+    std::fprintf(stderr, "load: warm sweep never hit the shared cache\n");
+    ok = false;
+  }
+  *json += "  \"load\": ";
+  report.AppendJson(json, "  ");
+  *json += ",\n";
+  return ok;
+}
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   for (char c : s) {
@@ -587,43 +730,99 @@ void AppendVariantJson(std::string* json, const VariantRun& run,
 
 int main(int argc, char** argv) {
   int folders = 12;
-  std::string out_path = "BENCH_PR5.json";
+  bool quick = false;
+  std::string out_path;
+  std::string corpus_name;
+  uint64_t corpus_source_bytes = 1 << 16;
+  crypto::ChunkLayout layout;
+  layout.chunk_size = 1024;
+  layout.fragment_size = 64;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--quick") {
+      quick = true;
       folders = 4;
     } else if (arg == "--folders" && i + 1 < argc) {
       folders = std::atoi(argv[++i]);
       if (folders <= 0) folders = 1;
+    } else if (arg == "--chunk" && i + 1 < argc) {
+      layout.chunk_size = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--fragment" && i + 1 < argc) {
+      layout.fragment_size = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--corpus" && i + 1 < argc) {
+      corpus_name = argv[++i];
+    } else if (arg == "--corpus-bytes" && i + 1 < argc) {
+      corpus_source_bytes = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: csxa_bench [--quick] [--folders N] [--out FILE]\n");
+                   "usage: csxa_bench [--quick] [--folders N] [--chunk N] "
+                   "[--fragment N] [--corpus FAMILY [--corpus-bytes N]] "
+                   "[--out FILE]\n");
       return 2;
     }
   }
+  if (!layout.Validate().ok()) {
+    std::fprintf(stderr, "csxa_bench: invalid --chunk/--fragment layout\n");
+    return 2;
+  }
+  // Only a standard-source run may default to the committed baseline name;
+  // an exploratory --corpus run that forgot --out must not clobber it.
+  if (out_path.empty())
+    out_path = corpus_name.empty() ? "BENCH_PR6.json" : "bench_corpus.json";
 
-  const std::string xml = MakeDocument(folders, /*consults=*/3,
-                                       /*analyses=*/4);
-  crypto::ChunkLayout layout;
-  layout.chunk_size = 1024;
-  layout.fragment_size = 64;
+  // The scenario matrix source: the hand-built hospital document (whose
+  // shape the strict pruning gates assume), or — exploratory — a generated
+  // corpus with its matched rule families.
+  const bool standard_source = corpus_name.empty();
+  std::string xml;
+  bench::CorpusFamily corpus_family = bench::CorpusFamily::kHospital;
+  if (standard_source) {
+    xml = MakeDocument(folders, /*consults=*/3, /*analyses=*/4);
+  } else {
+    auto family = bench::ParseFamily(corpus_name);
+    if (!family.ok()) {
+      std::fprintf(stderr, "csxa_bench: %s\n",
+                   family.status().message().c_str());
+      return 2;
+    }
+    corpus_family = family.value();
+    bench::CorpusSpec spec;
+    spec.family = corpus_family;
+    spec.target_bytes = corpus_source_bytes;
+    xml = bench::GenerateCorpus(spec).xml;
+  }
 
   const auto variants = {index::Variant::kNc, index::Variant::kTc,
                          index::Variant::kTcs, index::Variant::kTcsb,
                          index::Variant::kTcsbr};
 
   std::string json = "{\n  \"benchmark\": \"csxa_skip_navigation\",\n";
-  json += "  \"pr\": 5,\n";
-  json += "  \"config\": {\"folders\": " + std::to_string(folders) +
+  json += "  \"pr\": 6,\n";
+  json += "  \"config\": {\"source\": \"" +
+          (standard_source ? std::string("hospital_builtin")
+                           : JsonEscape(corpus_name)) +
+          "\", \"folders\": " + std::to_string(folders) +
           ", \"document_bytes\": " + std::to_string(xml.size()) +
           ", \"chunk_size\": " + std::to_string(layout.chunk_size) +
           ", \"fragment_size\": " + std::to_string(layout.fragment_size) +
           "},\n  \"scenarios\": [\n";
 
   bool ok = true;
-  const auto scenarios = Scenarios();
+  std::vector<Scenario> scenarios;
+  if (standard_source) {
+    scenarios = Scenarios();
+  } else {
+    // A generated corpus brings its own matched rule families; the strict
+    // pruning expectations are calibrated to the hand-built document, so
+    // scenario-level gates stay off (cost-model gates still apply).
+    for (bench::RuleFamily rf : bench::AllRuleFamilies()) {
+      scenarios.push_back({bench::RuleFamilyName(rf),
+                           bench::RulesFor(corpus_family, rf),
+                           /*bitmap_pruning=*/false, /*size_pruning=*/false});
+    }
+  }
   for (size_t s = 0; s < scenarios.size(); ++s) {
     const Scenario& sc = scenarios[s];
     auto parsed = access::ParseRuleList(sc.rules_text);
@@ -728,7 +927,7 @@ int main(int argc, char** argv) {
     // handful of coalesced round trips and under raw NC's wire bytes
     // (proofs amortized per chunk, not per request).
     const VariantRun& nc = run_for(index::Variant::kNc);
-    if (sc.name == "closed_world" &&
+    if (standard_source && sc.name == "closed_world" &&
         (tc.requests > 40 || tc.wire_bytes >= nc.wire_bytes)) {
       std::fprintf(stderr,
                    "%s: batched fetch regressed on TC (%llu requests, "
@@ -744,6 +943,27 @@ int main(int argc, char** argv) {
   json += "  ],\n";
   if (!RunDeferredMode(&json, layout)) ok = false;
   if (!RunWarmCache(&json, folders)) ok = false;
+  // Corpus-scale sections: the seeded generator across every family, then
+  // the service-level load harness over the paper families. Quick mode
+  // (the ctest smoke) shrinks both to keep sanitizer runs fast; the
+  // default run is what BENCH_PR6.json commits and CI gates.
+  if (!RunCorpusSection(&json, quick ? uint64_t{16} << 10
+                                     : uint64_t{64} << 10)) {
+    ok = false;
+  }
+  bench::LoadConfig load;
+  if (quick) {
+    load.target_bytes = 128 << 10;
+    load.threads = 4;
+    load.serves_per_thread = 2;
+    load.version_bumps = 1;
+  } else {
+    load.target_bytes = 1 << 20;
+    load.threads = 8;
+    load.serves_per_thread = 2;
+    load.version_bumps = 2;
+  }
+  if (!RunLoadSection(&json, load)) ok = false;
   json += "  \"checks_passed\": ";
   json += ok ? "true" : "false";
   json += "\n}\n";

@@ -1,0 +1,180 @@
+// csxa_load — service-level load driver for the secure-serve stack.
+//
+// Publishes one generated corpus per requested family into a
+// DocumentService, then races a thread pool of mixed-role sessions
+// against concurrent Update() version bumps, byte-checking every
+// completed view against a single-session reference. See
+// src/bench/load_harness.h for the measurement contract.
+//
+//   csxa_load                         # paper families, 1 MB, 8 threads
+//   csxa_load --families all --bytes 16777216 --threads 16 --serves 8
+//   csxa_load --smoke                 # CI preset: small and quick
+//
+// Exit status is nonzero when any completed view mismatched, any failure
+// was not a clean IntegrityError, or no serve completed at all.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/load_harness.h"
+
+namespace {
+
+using csxa::Result;
+using csxa::bench::CorpusFamily;
+using csxa::bench::LoadConfig;
+using csxa::bench::LoadReport;
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: csxa_load [options]\n"
+               "  --families LIST  comma list of families, or 'paper' (default)"
+               " or 'all'\n"
+               "  --bytes N        per-document corpus size (default 1048576)\n"
+               "  --threads N      worker threads (default 8)\n"
+               "  --serves N       serves per thread (default 3)\n"
+               "  --versions N     concurrent version bumps (default 2)\n"
+               "  --seed N         content seed (default 1)\n"
+               "  --zipf S         role-popularity exponent (default 1.1)\n"
+               "  --variant V      nc|tc|tcs|tcsb|tcsbr (default tcsbr)\n"
+               "  --chunk N        chunk size in bytes (default 1024)\n"
+               "  --fragment N     fragment size in bytes (default 64)\n"
+               "  --cache N        shared digest-cache capacity (default 4096)\n"
+               "  --out FILE       also write the report JSON to FILE\n"
+               "  --smoke          CI preset: paper families, 1 MB, 8 threads,"
+               " 2 serves/thread, 2 bumps\n");
+}
+
+bool ParseFamilies(const std::string& arg, std::vector<CorpusFamily>* out) {
+  if (arg == "paper") {
+    *out = csxa::bench::PaperFamilies();
+    return true;
+  }
+  if (arg == "all") {
+    *out = csxa::bench::AllFamilies();
+    return true;
+  }
+  out->clear();
+  size_t pos = 0;
+  while (pos <= arg.size()) {
+    size_t comma = arg.find(',', pos);
+    if (comma == std::string::npos) comma = arg.size();
+    Result<CorpusFamily> family =
+        csxa::bench::ParseFamily(arg.substr(pos, comma - pos));
+    if (!family.ok()) {
+      std::fprintf(stderr, "csxa_load: %s\n",
+                   family.status().message().c_str());
+      return false;
+    }
+    out->push_back(family.value());
+    pos = comma + 1;
+  }
+  return !out->empty();
+}
+
+bool ParseVariant(const std::string& arg, csxa::index::Variant* out) {
+  using csxa::index::Variant;
+  if (arg == "nc") *out = Variant::kNc;
+  else if (arg == "tc") *out = Variant::kTc;
+  else if (arg == "tcs") *out = Variant::kTcs;
+  else if (arg == "tcsb") *out = Variant::kTcsb;
+  else if (arg == "tcsbr") *out = Variant::kTcsbr;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadConfig config;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--smoke") {
+      config.families = csxa::bench::PaperFamilies();
+      config.target_bytes = 1 << 20;
+      config.threads = 8;
+      config.serves_per_thread = 2;
+      config.version_bumps = 2;
+    } else if (arg == "--families" && (v = next())) {
+      if (!ParseFamilies(v, &config.families)) return 2;
+    } else if (arg == "--bytes" && (v = next())) {
+      config.target_bytes = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--threads" && (v = next())) {
+      config.threads = std::atoi(v);
+    } else if (arg == "--serves" && (v = next())) {
+      config.serves_per_thread = std::atoi(v);
+    } else if (arg == "--versions" && (v = next())) {
+      config.version_bumps = std::atoi(v);
+    } else if (arg == "--seed" && (v = next())) {
+      config.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--zipf" && (v = next())) {
+      config.zipf_s = std::strtod(v, nullptr);
+    } else if (arg == "--variant" && (v = next())) {
+      if (!ParseVariant(v, &config.variant)) {
+        Usage();
+        return 2;
+      }
+    } else if (arg == "--chunk" && (v = next())) {
+      config.layout.chunk_size = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--fragment" && (v = next())) {
+      config.layout.fragment_size = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--cache" && (v = next())) {
+      config.shared_cache_capacity = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--out" && (v = next())) {
+      out_path = v;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+
+  Result<LoadReport> result = csxa::bench::RunLoad(config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "csxa_load: %s\n",
+                 result.status().message().c_str());
+    return 1;
+  }
+  const LoadReport& report = result.value();
+
+  std::string json;
+  report.AppendJson(&json, "");
+  json += "\n";
+  std::fputs(json.c_str(), stdout);
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "csxa_load: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  }
+
+  if (report.serves_completed == 0) {
+    std::fprintf(stderr, "csxa_load: FAIL no serve completed\n");
+    return 1;
+  }
+  if (report.view_mismatches != 0 || report.wrong_errors != 0) {
+    std::fprintf(stderr,
+                 "csxa_load: FAIL view_mismatches=%llu wrong_errors=%llu\n",
+                 static_cast<unsigned long long>(report.view_mismatches),
+                 static_cast<unsigned long long>(report.wrong_errors));
+    return 1;
+  }
+  std::fprintf(stderr,
+               "csxa_load: OK %llu/%llu serves (%llu stale rejections), "
+               "%.1f serves/s, p99 %.1f ms, cache hit %.2f\n",
+               static_cast<unsigned long long>(report.serves_completed),
+               static_cast<unsigned long long>(report.serves_attempted),
+               static_cast<unsigned long long>(report.integrity_rejections),
+               report.serves_per_sec, report.p99_ns / 1e6,
+               report.cache_hit_rate);
+  return 0;
+}
