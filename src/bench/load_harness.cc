@@ -164,6 +164,7 @@ Result<LoadReport> RunLoad(const LoadConfig& config) {
     cfg.layout = config.layout;
     cfg.key = LoadKey(config.seed);
     cfg.shared_cache_capacity = config.shared_cache_capacity;
+    cfg.backend = config.backend;
     CSXA_RETURN_NOT_OK(service.Publish(doc.id, doc.version_xml[0], cfg));
     docs.push_back(std::move(doc));
   }
@@ -173,6 +174,8 @@ Result<LoadReport> RunLoad(const LoadConfig& config) {
   std::vector<uint64_t> latencies;
   std::atomic<uint64_t> attempted{0}, completed{0}, rejections{0};
   std::atomic<uint64_t> wrong_errors{0}, mismatches{0}, wire_total{0};
+  std::atomic<uint64_t> decrypt_bytes{0}, decrypt_ns{0};
+  std::atomic<uint64_t> hash_bytes{0}, hash_ns{0}, fetched_bytes{0};
   std::vector<uint64_t> doc_completed(docs.size(), 0);
   std::vector<uint64_t> doc_rejections(docs.size(), 0);
   const ZipfRoles zipf(config.zipf_s);
@@ -189,6 +192,12 @@ Result<LoadReport> RunLoad(const LoadConfig& config) {
     if (report.ok()) {
       completed.fetch_add(1);
       wire_total.fetch_add(report.value().wire_bytes);
+      decrypt_bytes.fetch_add(report.value().soe.bytes_decrypted +
+                              report.value().soe.digest_bytes_decrypted);
+      decrypt_ns.fetch_add(report.value().soe.decrypt_ns);
+      hash_bytes.fetch_add(report.value().soe.bytes_hashed);
+      hash_ns.fetch_add(report.value().soe.hash_ns);
+      fetched_bytes.fetch_add(report.value().bytes_fetched);
       bool known = false;
       for (int v = 0; v < versions && !known; ++v) {
         known = report.value().view == doc.views[v][role];
@@ -205,7 +214,13 @@ Result<LoadReport> RunLoad(const LoadConfig& config) {
       doc_rejections[d]++;
     } else {
       // Outside a race, or with a non-integrity code, a failure is a bug.
-      wrong_errors.fetch_add(1);
+      // Surface the first offending status: a wrong-class count alone is
+      // undiagnosable once the run ends.
+      if (wrong_errors.fetch_add(1) == 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        std::fprintf(stderr, "load: wrong-class failure: %s\n",
+                     report.status().ToString().c_str());
+      }
     }
   };
 
@@ -275,6 +290,18 @@ Result<LoadReport> RunLoad(const LoadConfig& config) {
   report.p99_ns = Percentile(latencies, 99);
   report.wire_bytes_total = wire_total.load();
   report.peak_rss_kb = ReadPeakRssKb();
+  report.backend = crypto::CipherBackendKindName(config.backend);
+  report.backend_hardware =
+      crypto::CipherBackendHardwareAccelerated(config.backend);
+  report.hash_impl = crypto::Sha1::ImplementationName();
+  auto mb_s = [](uint64_t bytes, uint64_t ns) {
+    return ns == 0 ? 0.0
+                   : static_cast<double>(bytes) * 1e9 /
+                         (static_cast<double>(ns) * 1e6);
+  };
+  report.decrypt_mb_s = mb_s(decrypt_bytes.load(), decrypt_ns.load());
+  report.hash_mb_s = mb_s(hash_bytes.load(), hash_ns.load());
+  report.serve_mb_s = mb_s(fetched_bytes.load(), wall);
 
   uint64_t hits = 0, misses = 0;
   for (size_t d = 0; d < docs.size(); ++d) {
@@ -331,6 +358,16 @@ void LoadReport::AppendJson(std::string* out,
                 cache_hit_rate);
   *out += buf;
   AppendField(out, "peak_rss_kb", peak_rss_kb, false);
+  *out += ",\n" + indent + "  ";
+  *out += "\"backend\": \"" + backend + "\", ";
+  *out += std::string("\"backend_hardware\": ") +
+          (backend_hardware ? "true" : "false") + ", ";
+  *out += "\"hash_impl\": \"" + hash_impl + "\", ";
+  std::snprintf(buf, sizeof(buf),
+                "\"decrypt_mb_s\": %.2f, \"hash_mb_s\": %.2f, "
+                "\"serve_mb_s\": %.2f",
+                decrypt_mb_s, hash_mb_s, serve_mb_s);
+  *out += buf;
   *out += ",\n" + indent + "  \"documents\": [\n";
   for (size_t d = 0; d < docs.size(); ++d) {
     const DocReport& dr = docs[d];

@@ -44,6 +44,8 @@ struct LoadConfig {
   /// the final version's shared-cache hit rate is schedule-independent —
   /// the gateable part of the cache economics.
   bool warm_sweep = true;
+  /// Cipher backend every published document is encrypted under.
+  crypto::CipherBackendKind backend = crypto::CipherBackendKind::k3Des;
 };
 
 struct LoadReport {
@@ -79,6 +81,19 @@ struct LoadReport {
   /// bare_hits / (bare_hits + misses) over the final per-document caches.
   double cache_hit_rate = 0.0;
   uint64_t peak_rss_kb = 0;  ///< VmHWM of the whole process; 0 if unknown.
+
+  /// Crypto configuration of the run and its aggregate stage rates:
+  /// bytes decrypted / hashed across all completed serves over the wall
+  /// clock each stage burned (MB/s; the serve-level numbers live in the
+  /// per-serve reports).
+  std::string backend;
+  bool backend_hardware = false;
+  std::string hash_impl;
+  double decrypt_mb_s = 0.0;
+  double hash_mb_s = 0.0;
+  /// Aggregate plaintext serve rate: plaintext bytes materialized across
+  /// completed serves over the racing-phase wall clock.
+  double serve_mb_s = 0.0;
 
   std::vector<DocReport> docs;
 

@@ -10,60 +10,57 @@ std::vector<uint8_t> ZeroPadToBlock(const std::vector<uint8_t>& data) {
 
 namespace {
 
-Block64 LoadBlock(const std::vector<uint8_t>& buf, size_t offset) {
-  Block64 b;
-  for (int i = 0; i < 8; ++i) b[i] = buf[offset + i];
-  return b;
+inline uint64_t LoadBe64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
 }
 
-void StoreBlock(std::vector<uint8_t>* buf, size_t offset, const Block64& b) {
-  for (int i = 0; i < 8; ++i) (*buf)[offset + i] = b[i];
-}
-
-Block64 Xor(const Block64& a, const Block64& b) {
-  Block64 out;
-  for (int i = 0; i < 8; ++i) out[i] = a[i] ^ b[i];
-  return out;
+inline void StoreBe64(uint8_t* p, uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    p[i] = static_cast<uint8_t>(v & 0xFF);
+    v >>= 8;
+  }
 }
 
 }  // namespace
 
 std::vector<uint8_t> EcbEncrypt(const TripleDes& cipher,
                                 const std::vector<uint8_t>& plain) {
-  std::vector<uint8_t> out(plain.size());
-  for (size_t off = 0; off + 8 <= plain.size(); off += 8) {
-    StoreBlock(&out, off, cipher.EncryptBlock(LoadBlock(plain, off)));
+  std::vector<uint8_t> out = plain;
+  for (size_t off = 0; off + 8 <= out.size(); off += 8) {
+    StoreBe64(out.data() + off, cipher.EncryptU64(LoadBe64(out.data() + off)));
   }
   return out;
 }
 
 std::vector<uint8_t> EcbDecrypt(const TripleDes& cipher,
                                 const std::vector<uint8_t>& cipher_text) {
-  std::vector<uint8_t> out(cipher_text.size());
-  for (size_t off = 0; off + 8 <= cipher_text.size(); off += 8) {
-    StoreBlock(&out, off, cipher.DecryptBlock(LoadBlock(cipher_text, off)));
+  std::vector<uint8_t> out = cipher_text;
+  for (size_t off = 0; off + 8 <= out.size(); off += 8) {
+    StoreBe64(out.data() + off, cipher.DecryptU64(LoadBe64(out.data() + off)));
   }
   return out;
 }
 
 std::vector<uint8_t> CbcEncrypt(const TripleDes& cipher, const Block64& iv,
                                 const std::vector<uint8_t>& plain) {
-  std::vector<uint8_t> out(plain.size());
-  Block64 prev = iv;
-  for (size_t off = 0; off + 8 <= plain.size(); off += 8) {
-    prev = cipher.EncryptBlock(Xor(LoadBlock(plain, off), prev));
-    StoreBlock(&out, off, prev);
+  std::vector<uint8_t> out = plain;
+  uint64_t prev = LoadBe64(iv.data());
+  for (size_t off = 0; off + 8 <= out.size(); off += 8) {
+    prev = cipher.EncryptU64(LoadBe64(out.data() + off) ^ prev);
+    StoreBe64(out.data() + off, prev);
   }
   return out;
 }
 
 std::vector<uint8_t> CbcDecrypt(const TripleDes& cipher, const Block64& iv,
                                 const std::vector<uint8_t>& cipher_text) {
-  std::vector<uint8_t> out(cipher_text.size());
-  Block64 prev = iv;
-  for (size_t off = 0; off + 8 <= cipher_text.size(); off += 8) {
-    Block64 c = LoadBlock(cipher_text, off);
-    StoreBlock(&out, off, Xor(cipher.DecryptBlock(c), prev));
+  std::vector<uint8_t> out = cipher_text;
+  uint64_t prev = LoadBe64(iv.data());
+  for (size_t off = 0; off + 8 <= out.size(); off += 8) {
+    uint64_t c = LoadBe64(out.data() + off);
+    StoreBe64(out.data() + off, cipher.DecryptU64(c) ^ prev);
     prev = c;
   }
   return out;

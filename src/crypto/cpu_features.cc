@@ -1,0 +1,48 @@
+#include "crypto/cpu_features.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace csxa::crypto {
+
+namespace {
+
+struct Probe {
+  bool aes = false;
+  bool sha = false;
+  Probe() {
+#if defined(__x86_64__) || defined(__i386__)
+    unsigned int eax = 0, ebx = 0, ecx = 0, edx = 0;
+    if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+      aes = (ecx & (1u << 25)) != 0;  // CPUID.1:ECX.AESNI
+    }
+    if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+      sha = (ebx & (1u << 29)) != 0;  // CPUID.7.0:EBX.SHA
+    }
+#endif
+  }
+};
+
+const Probe& CpuProbe() {
+  static const Probe probe;
+  return probe;
+}
+
+}  // namespace
+
+bool CpuHasAesNi() { return CpuProbe().aes; }
+bool CpuHasShaNi() { return CpuProbe().sha; }
+
+bool ForcePortableCrypto() {
+  static const bool forced = [] {
+    const char* env = std::getenv("CSXA_FORCE_PORTABLE");
+    return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+  }();
+  return forced;
+}
+
+}  // namespace csxa::crypto

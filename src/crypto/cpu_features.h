@@ -1,0 +1,19 @@
+#ifndef CSXA_CRYPTO_CPU_FEATURES_H_
+#define CSXA_CRYPTO_CPU_FEATURES_H_
+
+namespace csxa::crypto {
+
+/// Runtime CPUID probes for the instruction-set extensions the accelerated
+/// cipher/hash paths use. Always false on non-x86 builds.
+bool CpuHasAesNi();
+bool CpuHasShaNi();
+
+/// True when the CSXA_FORCE_PORTABLE environment variable is set (and not
+/// "0"): every accelerated path must then behave as if the hardware lacked
+/// the extension, so the portable fallbacks stay covered by tests and CI
+/// on machines that do have the hardware. Read once per process.
+bool ForcePortableCrypto();
+
+}  // namespace csxa::crypto
+
+#endif  // CSXA_CRYPTO_CPU_FEATURES_H_

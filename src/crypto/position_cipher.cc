@@ -14,6 +14,19 @@ Block64 XorPosition(const Block64& b, uint64_t block_index) {
   return out;
 }
 
+inline uint64_t LoadBe64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+inline void StoreBe64(uint8_t* p, uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    p[i] = static_cast<uint8_t>(v & 0xFF);
+    v >>= 8;
+  }
+}
+
 }  // namespace
 
 Block64 PositionCipher::EncryptBlock(const Block64& plain,
@@ -26,28 +39,36 @@ Block64 PositionCipher::DecryptBlock(const Block64& cipher,
   return XorPosition(cipher_.DecryptBlock(cipher), block_index);
 }
 
+void PositionCipher::EncryptInPlace(uint8_t* data, size_t n,
+                                    uint64_t first_block_index) const {
+  // A big-endian-loaded block XORed with the integer byte position is
+  // exactly the per-byte position mix of XorPosition.
+  for (size_t off = 0; off + 8 <= n; off += 8) {
+    const uint64_t pos = (first_block_index + off / 8) * 8;
+    StoreBe64(data + off, cipher_.EncryptU64(LoadBe64(data + off) ^ pos));
+  }
+}
+
+void PositionCipher::DecryptInPlace(uint8_t* data, size_t n,
+                                    uint64_t first_block_index) const {
+  for (size_t off = 0; off + 8 <= n; off += 8) {
+    const uint64_t pos = (first_block_index + off / 8) * 8;
+    StoreBe64(data + off, cipher_.DecryptU64(LoadBe64(data + off)) ^ pos);
+  }
+}
+
 std::vector<uint8_t> PositionCipher::Encrypt(
     const std::vector<uint8_t>& plain, uint64_t first_block_index) const {
-  std::vector<uint8_t> out(plain.size());
-  for (size_t off = 0; off + 8 <= plain.size(); off += 8) {
-    Block64 b;
-    for (int i = 0; i < 8; ++i) b[i] = plain[off + i];
-    Block64 c = EncryptBlock(b, first_block_index + off / 8);
-    for (int i = 0; i < 8; ++i) out[off + i] = c[i];
-  }
+  std::vector<uint8_t> out = plain;
+  EncryptInPlace(out.data(), out.size(), first_block_index);
   return out;
 }
 
 std::vector<uint8_t> PositionCipher::Decrypt(
     const std::vector<uint8_t>& cipher_text,
     uint64_t first_block_index) const {
-  std::vector<uint8_t> out(cipher_text.size());
-  for (size_t off = 0; off + 8 <= cipher_text.size(); off += 8) {
-    Block64 c;
-    for (int i = 0; i < 8; ++i) c[i] = cipher_text[off + i];
-    Block64 b = DecryptBlock(c, first_block_index + off / 8);
-    for (int i = 0; i < 8; ++i) out[off + i] = b[i];
-  }
+  std::vector<uint8_t> out = cipher_text;
+  DecryptInPlace(out.data(), out.size(), first_block_index);
   return out;
 }
 

@@ -6,25 +6,42 @@
 #include <vector>
 
 #include "common/status.h"
+#include "crypto/cipher_backend.h"
 #include "crypto/digest_cache.h"
 #include "crypto/merkle.h"
-#include "crypto/position_cipher.h"
 #include "crypto/sha1.h"
 
 namespace csxa::crypto {
 
 /// Chunk/fragment/block layout of Appendix A: the document is split into
 /// chunks (integrity-checking unit, sized to SOE memory), divided into
-/// fragments (random-access unit inside a chunk), subdivided into 8-byte
-/// encryption blocks. fragment_size must divide chunk_size, both multiples
-/// of 8, fragments-per-chunk a power of two.
+/// fragments (random-access unit inside a chunk), subdivided into cipher
+/// blocks (8 bytes for the paper's 3DES, 16 for the AES backend).
+/// fragment_size must divide chunk_size, both multiples of the cipher
+/// block, fragments-per-chunk a power of two.
 struct ChunkLayout {
   uint32_t chunk_size = 2048;
   uint32_t fragment_size = 256;
 
   uint32_t fragments_per_chunk() const { return chunk_size / fragment_size; }
-  Status Validate() const;
+  /// `block_size` is the cipher backend's block (8 unless stated).
+  Status Validate(uint32_t block_size = 8) const;
 };
+
+/// Ciphertext size of one encrypted ChunkDigest under cipher block size
+/// `block_size`: the 24-byte digest plaintext (20-byte bound root hash +
+/// 4-byte version) zero-padded to a whole block — 24 bytes for 3DES,
+/// 32 for AES.
+inline uint32_t DigestCipherBytes(uint32_t block_size) {
+  return (24 + block_size - 1) / block_size * block_size;
+}
+
+/// Cipher blocks one encrypted ChunkDigest occupies — the stride of the
+/// digest position space (digests live beyond the document's blocks so
+/// their ciphertext can never be replayed as content).
+inline uint32_t DigestBlocks(uint32_t block_size) {
+  return DigestCipherBytes(block_size) / block_size;
+}
 
 /// Response of the untrusted terminal to a random read: ciphertext covering
 /// the requested bytes (extended left to a block boundary and right to a
@@ -45,7 +62,8 @@ struct RangeResponse {
     bool has_prefix_state = false;
     Sha1::State prefix_state;
     std::vector<ProofNode> proof;          ///< Sibling hashes (Figure F1).
-    std::vector<uint8_t> encrypted_digest; ///< Encrypted ChunkDigest (24B).
+    /// Encrypted ChunkDigest (DigestCipherBytes of the store's backend).
+    std::vector<uint8_t> encrypted_digest;
   };
   std::vector<ChunkMaterial> chunks;
 
@@ -126,27 +144,31 @@ class BatchSource {
   virtual Result<BatchResponse> ReadBatch(const BatchRequest& request) const = 0;
 };
 
-/// Terminal-side store of an encrypted document: position-mixed 3DES-ECB
-/// ciphertext plus one encrypted Merkle ChunkDigest per chunk. The terminal
+/// Terminal-side store of an encrypted document: position-mixed ECB
+/// ciphertext under a pluggable cipher backend (paper-faithful 3DES by
+/// default) plus one encrypted Merkle ChunkDigest per chunk. The terminal
 /// needs no key; it only stores and serves. Tampering hooks let tests
 /// emulate the attacks of Section 6.
 class SecureDocumentStore : public BatchSource {
  public:
-  /// Encrypts `plaintext` (zero-padded to a block) and builds the chunk
-  /// digests. The ChunkDigest binds the chunk index (preventing whole-chunk
+  /// Encrypts `plaintext` (zero-padded to the backend's block) in one
+  /// whole-segment backend call and builds the chunk digests. The
+  /// ChunkDigest binds the chunk index (preventing whole-chunk
   /// transposition) and the document `version` (Section 6: versioning
   /// counters replay of stale document states — an SOE expecting version v
   /// rejects digests sealed for v-1), and is encrypted with the document
   /// key so the terminal cannot re-derive digests for tampered data.
-  static Result<SecureDocumentStore> Build(const std::vector<uint8_t>& plaintext,
-                                           const TripleDes::Key& key,
-                                           const ChunkLayout& layout,
-                                           uint32_t version = 0);
+  static Result<SecureDocumentStore> Build(
+      const std::vector<uint8_t>& plaintext, const TripleDes::Key& key,
+      const ChunkLayout& layout, uint32_t version = 0,
+      CipherBackendKind backend = CipherBackendKind::k3Des);
 
   uint64_t plaintext_size() const { return plaintext_size_; }
   const ChunkLayout& layout() const { return layout_; }
   uint64_t chunk_count() const { return digests_.size(); }
   uint32_t version() const { return version_; }
+  CipherBackendKind backend() const { return backend_; }
+  uint32_t block_size() const { return block_size_; }
   const std::vector<uint8_t>& ciphertext() const { return ciphertext_; }
 
   /// Serves `[pos, pos+n)` with integrity material. Terminal-side hashing
@@ -162,7 +184,7 @@ class SecureDocumentStore : public BatchSource {
   /// -- Attack emulation (tests) --------------------------------------
   /// Flips bits of one ciphertext byte (random modification attack).
   void TamperByte(uint64_t pos, uint8_t xor_mask);
-  /// Swaps two 8-byte ciphertext blocks (substitution attack).
+  /// Swaps two cipher-block-sized ciphertext blocks (substitution attack).
   void SwapBlocks(uint64_t block_a, uint64_t block_b);
   /// Replaces a chunk's encrypted digest with another chunk's (digest
   /// transposition attack).
@@ -176,8 +198,10 @@ class SecureDocumentStore : public BatchSource {
   ChunkLayout layout_;
   uint64_t plaintext_size_ = 0;
   uint32_t version_ = 0;
+  CipherBackendKind backend_ = CipherBackendKind::k3Des;
+  uint32_t block_size_ = 8;
   std::vector<uint8_t> ciphertext_;
-  std::vector<std::vector<uint8_t>> digests_;  // encrypted, 24 bytes each
+  std::vector<std::vector<uint8_t>> digests_;  // encrypted ChunkDigests
 };
 
 /// SOE-side verifier/decryptor: holds the key, recomputes Merkle roots from
@@ -196,11 +220,13 @@ class SoeDecryptor {
   /// let one version's authenticated hashes vouch for another's bytes, so
   /// the constructor falls back to a private cache in that case
   /// (fail-safe: wire cost, never trust).
+  /// `backend` must be the cipher backend the store was built with.
   SoeDecryptor(const TripleDes::Key& key, ChunkLayout layout,
                uint64_t plaintext_size, uint64_t chunk_count,
                uint32_t expected_version = 0,
                size_t digest_cache_capacity = kDefaultDigestCacheCapacity,
-               std::shared_ptr<VerifiedDigestCache> shared_cache = nullptr);
+               std::shared_ptr<VerifiedDigestCache> shared_cache = nullptr,
+               CipherBackendKind backend = CipherBackendKind::k3Des);
 
   static constexpr size_t kDefaultDigestCacheCapacity = 32;
 
@@ -244,9 +270,11 @@ class SoeDecryptor {
   /// checked against shipped material (then recorded in the digest cache)
   /// or — for waived chunks — against the cache's authenticated hashes.
   /// Plaintext is written in place into `out` (the document buffer of
-  /// `out_size` >= plaintext_size bytes) at each segment's offset. Any
-  /// mismatch fails the whole batch with IntegrityError before a single
-  /// unverified byte is released.
+  /// `out_size` >= plaintext_size bytes) at each segment's offset; each
+  /// verified segment is handed to the cipher backend as one whole block
+  /// run, so backends pipeline across blocks. Any mismatch fails the
+  /// whole batch with IntegrityError before a single unverified byte is
+  /// released.
   Status DecryptVerifiedBatch(const BatchRequest& request,
                               const BatchResponse& response, uint8_t* out,
                               size_t out_size);
@@ -257,18 +285,25 @@ class SoeDecryptor {
     uint64_t digest_bytes_decrypted = 0;
     uint64_t bytes_hashed = 0;      ///< Ciphertext bytes hashed in the SOE.
     uint64_t hash_combines = 0;     ///< Merkle interior-node hashes.
-    uint64_t decrypt_ns = 0;        ///< Wall clock inside 3DES decryption.
+    uint64_t decrypt_ns = 0;        ///< Wall clock inside block decryption.
     uint64_t hash_ns = 0;           ///< Wall clock inside SHA-1 hashing.
   };
   const Counters& counters() const { return counters_; }
   /// Snapshot: with a shared cache these are cross-serve aggregates.
   VerifiedDigestCache::Stats cache_stats() const { return cache_->stats(); }
 
+  /// The cipher backend this decryptor serves with (for reports).
+  const char* backend_name() const { return backend_->name(); }
+  bool backend_hardware_accelerated() const {
+    return backend_->hardware_accelerated();
+  }
+  uint32_t block_size() const { return backend_->block_size(); }
+
   /// Computes what a chunk's encrypted digest must be; exposed so that
   /// Build and tests share one definition. The 24-byte plaintext is the
   /// index-bound root hash (20 bytes) followed by the big-endian document
-  /// version (4 bytes).
-  static std::vector<uint8_t> SealDigest(const PositionCipher& cipher,
+  /// version (4 bytes), zero-padded to the backend's block.
+  static std::vector<uint8_t> SealDigest(const CipherBackend& backend,
                                          uint64_t chunk_index,
                                          const Sha1Digest& root,
                                          uint64_t total_blocks,
@@ -284,7 +319,7 @@ class SoeDecryptor {
       const std::vector<Sha1Digest>& leaves,
       std::vector<std::pair<uint64_t, Sha1Digest>>* digest_memo);
 
-  PositionCipher cipher_;
+  std::unique_ptr<const CipherBackend> backend_;
   ChunkLayout layout_;
   uint64_t plaintext_size_;
   uint64_t chunk_count_;

@@ -59,8 +59,15 @@ class Sha1 {
   /// Hash of the concatenation of two digests (Merkle interior node).
   static Sha1Digest HashPair(const Sha1Digest& left, const Sha1Digest& right);
 
+  /// The hash backend this process uses: "sha-ni" when the CPU's SHA
+  /// extensions are live (and CSXA_FORCE_PORTABLE is unset), else
+  /// "portable". All call sites — Merkle leaves, interior nodes, chunk
+  /// digests — go through the same dispatch.
+  static const char* ImplementationName();
+  static bool HardwareAccelerated();
+
  private:
-  void ProcessBlock(const uint8_t* block);
+  void ProcessBlocks(const uint8_t* data, size_t nblocks);
 
   std::array<uint32_t, 5> h_;
   uint64_t length_ = 0;  // total bytes seen

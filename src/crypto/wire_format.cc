@@ -20,7 +20,7 @@ void PutU64(std::vector<uint8_t>* out, uint64_t v) {
 }
 
 void PutBytes(std::vector<uint8_t>* out, const uint8_t* p, size_t n) {
-  out->insert(out->end(), p, p + n);
+  if (n != 0) out->insert(out->end(), p, p + n);
 }
 
 /// Bounds-checked cursor over an untrusted frame: every accessor verifies
@@ -75,9 +75,11 @@ struct Reader {
     return c;
   }
   /// Copies `k` bytes into `dst` (resized by the caller *after* Need).
+  /// `dst` may be null when `k` is zero — an empty vector's data() is —
+  /// so the copy is skipped rather than handing memcpy a null pointer.
   bool Bytes(uint8_t* dst, size_t k) {
     if (!Need(k)) return false;
-    std::memcpy(dst, p, k);
+    if (k != 0) std::memcpy(dst, p, k);
     p += k;
     n -= k;
     return true;

@@ -77,7 +77,8 @@ class SecureFetcher : public Fetcher {
   /// across a whole serve means every proof was trimmed away by the
   /// (shared) digest cache, the warm-serve ideal.
   uint64_t proof_hashes_shipped() const { return proof_hashes_shipped_; }
-  /// Encrypted ChunkDigest bytes shipped this serve (24 per cold chunk).
+  /// Encrypted ChunkDigest bytes shipped this serve (DigestCipherBytes of
+  /// the store's backend per cold chunk).
   uint64_t digest_bytes_shipped() const { return digest_bytes_shipped_; }
   /// Wall clock spent in terminal round trips (the simulated wire).
   uint64_t fetch_ns() const { return fetch_ns_; }

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/clock.h"
 #include "index/encoder.h"
 #include "xml/sax_parser.h"
 #include "xml/serializer.h"
@@ -15,7 +16,8 @@ Result<SecureSession> SecureSession::Build(const std::string& xml,
                         index::Encode(*dom, cfg.variant));
   CSXA_ASSIGN_OR_RETURN(crypto::SecureDocumentStore store,
                         crypto::SecureDocumentStore::Build(
-                            doc.bytes, cfg.key, cfg.layout, cfg.version));
+                            doc.bytes, cfg.key, cfg.layout, cfg.version,
+                            cfg.backend));
   return SecureSession(cfg, std::move(store), doc.bytes.size());
 }
 
@@ -24,10 +26,10 @@ Result<std::unique_ptr<ServeStream>> ServeStream::Open(
     uint64_t plaintext_size, uint64_t ciphertext_size, uint64_t chunk_count,
     const crypto::TripleDes::Key& key, uint32_t version,
     const std::vector<access::AccessRule>& rules,
-    const ServeOptions& options) {
+    const ServeOptions& options, crypto::CipherBackendKind backend) {
   auto stream = std::unique_ptr<ServeStream>(
       new ServeStream(source, layout, plaintext_size, ciphertext_size,
-                      chunk_count, key, version, options));
+                      chunk_count, key, version, options, backend));
   CSXA_ASSIGN_OR_RETURN(
       stream->nav_,
       index::DocumentNavigator::OpenBuffer(stream->fetcher_.data(),
@@ -46,17 +48,20 @@ Result<std::unique_ptr<ServeStream>> SecureSession::OpenStream(
     const ServeOptions& options) const {
   return ServeStream::Open(&store_, store_.layout(), store_.plaintext_size(),
                            store_.ciphertext().size(), store_.chunk_count(),
-                           cfg_.key, cfg_.version, rules, options);
+                           cfg_.key, cfg_.version, rules, options,
+                           store_.backend());
 }
 
 Result<ServeReport> DrainServeStream(ServeStream* stream,
                                      uint64_t encoded_bytes) {
+  const uint64_t t0 = NowNs();
   xml::SerializingHandler serializer;
   while (true) {
     CSXA_ASSIGN_OR_RETURN(ViewItem item, stream->Next());
     if (item.end) break;
     serializer.Feed(item.event, item.depth);
   }
+  const uint64_t serve_ns = NowNs() - t0;
 
   ServeReport report;
   report.view = serializer.output();
@@ -75,6 +80,21 @@ Result<ServeReport> DrainServeStream(ServeStream* stream,
   report.fetch_ns = stream->fetcher().fetch_ns();
   report.soe = stream->soe();
   report.digest_cache = stream->cache_stats();
+  report.backend = stream->backend_name();
+  report.backend_hardware = stream->backend_hardware_accelerated();
+  report.hash_impl = crypto::Sha1::ImplementationName();
+  report.hash_hardware = crypto::Sha1::HardwareAccelerated();
+  report.serve_ns = serve_ns;
+  auto mb_s = [](uint64_t bytes, uint64_t ns) {
+    return ns == 0 ? 0.0
+                   : static_cast<double>(bytes) * 1e9 /
+                         (static_cast<double>(ns) * 1e6);
+  };
+  report.decrypt_mb_s = mb_s(
+      report.soe.bytes_decrypted + report.soe.digest_bytes_decrypted,
+      report.soe.decrypt_ns);
+  report.hash_mb_s = mb_s(report.soe.bytes_hashed, report.soe.hash_ns);
+  report.serve_mb_s = mb_s(report.bytes_fetched, serve_ns);
   return report;
 }
 

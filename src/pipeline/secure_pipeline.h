@@ -32,6 +32,9 @@ struct SessionConfig {
   bool enable_skip = true;    ///< Default ServeOptions::enable_skip.
   /// Default ServeOptions::pending_buffer_budget (see below).
   uint64_t pending_buffer_budget = UINT64_MAX;
+  /// Cipher backend the store is encrypted under (a document property:
+  /// every session of the document decrypts with the same backend).
+  crypto::CipherBackendKind backend = crypto::CipherBackendKind::k3Des;
 };
 
 /// Per-serve overrides, so skip/defer/full comparisons reuse one
@@ -78,6 +81,23 @@ struct ServeReport {
   uint64_t fetch_ns = 0;                 ///< Wall clock in terminal reads.
   crypto::SoeDecryptor::Counters soe;    ///< Decrypt/hash work in the SOE.
   crypto::VerifiedDigestCache::Stats digest_cache;  ///< Bare-read economics.
+
+  /// Cipher backend this serve decrypted with ("3des", "aes",
+  /// "aes-portable") and whether it actually ran hardware crypto
+  /// instructions on this machine.
+  std::string backend;
+  bool backend_hardware = false;
+  /// Hash implementation ("sha-ni" or "portable") used for Merkle leaves,
+  /// interior nodes and chunk digests.
+  std::string hash_impl;
+  bool hash_hardware = false;
+  /// Per-stage throughput over this serve's own wall clock (MB/s; 0 when
+  /// the stage never ran): block decryption, ciphertext hashing, and the
+  /// end-to-end serve rate (plaintext materialized over total serve time).
+  double decrypt_mb_s = 0.0;
+  double hash_mb_s = 0.0;
+  double serve_mb_s = 0.0;
+  uint64_t serve_ns = 0;  ///< Wall clock of the whole drain (open to end).
 };
 
 /// The pull endpoint of one serve: owns the per-request SOE chain
@@ -96,7 +116,8 @@ class ServeStream {
       uint64_t plaintext_size, uint64_t ciphertext_size, uint64_t chunk_count,
       const crypto::TripleDes::Key& key, uint32_t version,
       const std::vector<access::AccessRule>& rules,
-      const ServeOptions& options);
+      const ServeOptions& options,
+      crypto::CipherBackendKind backend = crypto::CipherBackendKind::k3Des);
 
   ServeStream(const ServeStream&) = delete;
   ServeStream& operator=(const ServeStream&) = delete;
@@ -115,15 +136,20 @@ class ServeStream {
   crypto::VerifiedDigestCache::Stats cache_stats() const {
     return soe_.cache_stats();
   }
+  const char* backend_name() const { return soe_.backend_name(); }
+  bool backend_hardware_accelerated() const {
+    return soe_.backend_hardware_accelerated();
+  }
 
  private:
   ServeStream(const crypto::BatchSource* source,
               const crypto::ChunkLayout& layout, uint64_t plaintext_size,
               uint64_t ciphertext_size, uint64_t chunk_count,
               const crypto::TripleDes::Key& key, uint32_t version,
-              const ServeOptions& options)
+              const ServeOptions& options, crypto::CipherBackendKind backend)
       : soe_(key, layout, plaintext_size, chunk_count, version,
-             options.digest_cache_capacity, options.shared_digest_cache),
+             options.digest_cache_capacity, options.shared_digest_cache,
+             backend),
         fetcher_(source, layout, plaintext_size, ciphertext_size, &soe_,
                  options.planner) {}
 

@@ -25,8 +25,16 @@ Result<crypto::BatchResponse> DocumentEntry::ReadBatch(
 
   std::shared_ptr<const DocumentState> state = Current();
   const uint64_t size = state->store.ciphertext().size();
+  const uint32_t fragment = state->store.layout().fragment_size;
   for (const crypto::BatchRequest::Run& run : decoded_request.runs) {
-    if (run.end > size) {
+    // A session builds its runs against its own version's geometry: every
+    // end is fragment-aligned except a tail run ending at that version's
+    // ciphertext size. An end beyond the current size — or an unaligned
+    // end that is not the current size (the document *grew* across a
+    // bump, so the old tail now points mid-document) — is a stale
+    // session, and the contract is failing closed.
+    if (run.end > size ||
+        (run.end % fragment != 0 && run.end != size)) {
       return Status::IntegrityError(
           "stale session: batch range beyond the current document version");
     }
@@ -49,7 +57,8 @@ DocumentService::BuildState(const std::string& xml, const DocumentConfig& cfg,
                         index::Encode(*dom, cfg.variant));
   CSXA_ASSIGN_OR_RETURN(crypto::SecureDocumentStore store,
                         crypto::SecureDocumentStore::Build(
-                            doc.bytes, cfg.key, cfg.layout, version));
+                            doc.bytes, cfg.key, cfg.layout, version,
+                            cfg.backend));
   auto state = std::make_shared<internal::DocumentState>();
   state->encoded_bytes = doc.bytes.size();
   state->version = version;
@@ -68,7 +77,8 @@ DocumentService::BuildState(const std::string& xml, const DocumentConfig& cfg,
 Status DocumentService::Publish(const std::string& doc_id,
                                 const std::string& xml,
                                 const DocumentConfig& cfg) {
-  CSXA_RETURN_NOT_OK(cfg.layout.Validate());
+  CSXA_RETURN_NOT_OK(
+      cfg.layout.Validate(crypto::CipherBackendBlockSize(cfg.backend)));
   CSXA_ASSIGN_OR_RETURN(auto state, BuildState(xml, cfg, /*version=*/0));
   auto entry = std::make_shared<internal::DocumentEntry>();
   entry->Swap(std::move(state));
@@ -128,7 +138,8 @@ Result<std::unique_ptr<SecureSession>> DocumentService::OpenSession(
       pipeline::ServeStream::Open(
           entry.get(), state->store.layout(), state->store.plaintext_size(),
           state->store.ciphertext().size(), state->store.chunk_count(),
-          state->key, state->version, rules, wired));
+          state->key, state->version, rules, wired,
+          state->store.backend()));
   return std::unique_ptr<SecureSession>(new SecureSession(
       std::move(entry), std::move(state), std::move(stream)));
 }

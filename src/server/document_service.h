@@ -28,6 +28,9 @@ struct DocumentConfig {
   /// serves every session material-free; 0 falls back to private
   /// per-serve caches.
   size_t shared_cache_capacity = 128;
+  /// Cipher backend the document is encrypted under; carried across
+  /// Update() rebuilds so every version of a document uses one backend.
+  crypto::CipherBackendKind backend = crypto::CipherBackendKind::k3Des;
 };
 
 namespace internal {

@@ -163,6 +163,35 @@ def main():
                         f'load: cache_hit_rate {load["cache_hit_rate"]:.3f} '
                         f'under baseline floor {floor:.3f}')
 
+    # Cipher backends (PR 7): the cross-backend equivalence matrix is the
+    # contract that makes the backend a pure performance axis, so it is
+    # gated exactly — every backend must have served byte-identical views
+    # across the corpus family × variant × rule-family matrix, and every
+    # store-level attack must have been rejected on every backend. The
+    # matrix must cover the paper-faithful default ("3des") and the
+    # hardware path ("aes"); per-backend throughputs are machine-dependent
+    # and never gated here (the bench itself gates the AES-NI target).
+    if "backends" not in fresh:
+        rc |= fail("backends section missing from fresh run")
+    else:
+        equiv = fresh["backends"].get("equivalence", {})
+        for name in ("3des", "aes", "aes-portable"):
+            if name not in equiv.get("backends", []):
+                rc |= fail(f"backends: {name} missing from equivalence matrix")
+        if equiv.get("serves", 0) == 0:
+            rc |= fail("backends: equivalence matrix ran no serves")
+        if not equiv.get("views_identical", False):
+            rc |= fail("backends: views diverge across cipher backends")
+        if not equiv.get("all_attacks_rejected", False):
+            rc |= fail(
+                f'backends: only {equiv.get("attacks_rejected", 0)} of '
+                f'{equiv.get("attacks_total", 0)} attacks rejected')
+        perf = {e["backend"]: e
+                for e in fresh["backends"].get("nc_closed_world", [])}
+        for name in ("3des", "aes"):
+            if name not in perf:
+                rc |= fail(f"backends: no {name} closed_world NC serve")
+
     if not fresh.get("checks_passed", False):
         rc |= fail("bench-internal checks failed")
     if rc == 0:

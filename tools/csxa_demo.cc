@@ -109,6 +109,7 @@ struct Options {
   std::string subject = "doctor";
   index::Variant variant = index::Variant::kTcsbr;
   crypto::ChunkLayout layout;
+  crypto::CipherBackendKind backend = crypto::CipherBackendKind::k3Des;
 };
 
 Result<std::string> ReadFile(const std::string& path) {
@@ -126,6 +127,7 @@ pipeline::SessionConfig DemoConfig(const Options& opt) {
   cfg.key = DemoKey();
   cfg.enable_skip = opt.enable_skip;
   cfg.pending_buffer_budget = opt.defer_budget;
+  cfg.backend = opt.backend;
   return cfg;
 }
 
@@ -237,10 +239,13 @@ int Run(const Options& opt) {
                 "bytes shipped\n",
                 static_cast<unsigned long long>(pr.proof_hashes_shipped),
                 static_cast<unsigned long long>(pr.digest_bytes_shipped));
-    std::printf("  decrypted in SOE     %8llu bytes\n",
-                static_cast<unsigned long long>(pr.soe.bytes_decrypted));
-    std::printf("  hashed in SOE        %8llu bytes\n",
-                static_cast<unsigned long long>(pr.soe.bytes_hashed));
+    std::printf("  decrypted in SOE     %8llu bytes (%s%s, %.1f MB/s)\n",
+                static_cast<unsigned long long>(pr.soe.bytes_decrypted),
+                pr.backend.c_str(),
+                pr.backend_hardware ? ", hw" : "", pr.decrypt_mb_s);
+    std::printf("  hashed in SOE        %8llu bytes (%s, %.1f MB/s)\n",
+                static_cast<unsigned long long>(pr.soe.bytes_hashed),
+                pr.hash_impl.c_str(), pr.hash_mb_s);
     std::printf("  subtrees skipped     %8llu (%llu encoded bytes never "
                 "fetched; %llu oracle queries)\n",
                 static_cast<unsigned long long>(pr.drive.skips),
@@ -383,6 +388,15 @@ int main(int argc, char** argv) {
           return 2;
         }
       }
+    } else if (arg == "--backend") {
+      const char* v = next();
+      auto kind = csxa::crypto::ParseCipherBackendName(
+          v == nullptr ? "" : v);
+      if (!kind.ok()) {
+        std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+        return 2;
+      }
+      opt.backend = kind.value();
     } else if (arg == "--chunk" || arg == "--fragment") {
       const char* v = next();
       uint32_t* field = arg == "--chunk" ? &opt.layout.chunk_size
@@ -397,7 +411,8 @@ int main(int argc, char** argv) {
           "usage: csxa_demo [--selftest] [--doc FILE] [--rules FILE]\n"
           "                 [--subject NAME] [--variant tc|tcs|tcsb|tcsbr]\n"
           "                 [--chunk BYTES] [--fragment BYTES] [--no-skip]\n"
-          "                 [--defer-budget BYTES]\n");
+          "                 [--defer-budget BYTES]\n"
+          "                 [--backend 3des|aes|aes-portable]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument %s (try --help)\n", arg.c_str());

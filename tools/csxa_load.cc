@@ -9,6 +9,7 @@
 //   csxa_load                         # paper families, 1 MB, 8 threads
 //   csxa_load --families all --bytes 16777216 --threads 16 --serves 8
 //   csxa_load --smoke                 # CI preset: small and quick
+//   csxa_load --soak                  # manual gigabyte-scale preset (AES)
 //
 // Exit status is nonzero when any completed view mismatched, any failure
 // was not a clean IntegrityError, or no serve completed at all.
@@ -42,9 +43,17 @@ void Usage() {
                "  --chunk N        chunk size in bytes (default 1024)\n"
                "  --fragment N     fragment size in bytes (default 64)\n"
                "  --cache N        shared digest-cache capacity (default 4096)\n"
+               "  --backend B      cipher backend: 3des (default), aes,"
+               " aes-portable\n"
                "  --out FILE       also write the report JSON to FILE\n"
                "  --smoke          CI preset: paper families, 1 MB, 8 threads,"
-               " 2 serves/thread, 2 bumps\n");
+               " 2 serves/thread, 2 bumps\n"
+               "  --soak           manual gigabyte-scale preset: all families,"
+               " 64 MB/doc, 16 threads,\n"
+               "                   8 serves/thread, 6 bumps, aes backend"
+               " (~1.5 GB of plaintext served;\n"
+               "                   later flags override, e.g. --soak --bytes"
+               " 134217728)\n");
 }
 
 bool ParseFamilies(const std::string& arg, std::vector<CorpusFamily>* out) {
@@ -102,6 +111,25 @@ int main(int argc, char** argv) {
       config.threads = 8;
       config.serves_per_thread = 2;
       config.version_bumps = 2;
+    } else if (arg == "--soak") {
+      // Gigabyte-scale manual preset (not run in CI): every family at
+      // 64 MB/document under the AES backend, long enough churn that the
+      // shared cache sees real turnover. Later flags override.
+      config.families = csxa::bench::AllFamilies();
+      config.target_bytes = 64ull << 20;
+      config.threads = 16;
+      config.serves_per_thread = 8;
+      config.version_bumps = 6;
+      config.backend = csxa::crypto::CipherBackendKind::kAes;
+    } else if (arg == "--backend" && (v = next())) {
+      Result<csxa::crypto::CipherBackendKind> kind =
+          csxa::crypto::ParseCipherBackendName(v);
+      if (!kind.ok()) {
+        std::fprintf(stderr, "csxa_load: %s\n",
+                     kind.status().message().c_str());
+        return 2;
+      }
+      config.backend = kind.value();
     } else if (arg == "--families" && (v = next())) {
       if (!ParseFamilies(v, &config.families)) return 2;
     } else if (arg == "--bytes" && (v = next())) {
@@ -170,11 +198,12 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "csxa_load: OK %llu/%llu serves (%llu stale rejections), "
-               "%.1f serves/s, p99 %.1f ms, cache hit %.2f\n",
+               "%.1f serves/s, p99 %.1f ms, cache hit %.2f, %s%s %.1f MB/s\n",
                static_cast<unsigned long long>(report.serves_completed),
                static_cast<unsigned long long>(report.serves_attempted),
                static_cast<unsigned long long>(report.integrity_rejections),
                report.serves_per_sec, report.p99_ns / 1e6,
-               report.cache_hit_rate);
+               report.cache_hit_rate, report.backend.c_str(),
+               report.backend_hardware ? "+hw" : "", report.serve_mb_s);
   return 0;
 }
