@@ -29,7 +29,12 @@ const char* StatusCodeName(StatusCode code);
 ///
 /// Cheap to copy in the OK case (no allocation); carries a message
 /// otherwise. All fallible public APIs in csxa return Status or Result<T>.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status is the same bug class the
+/// error-taxonomy contract exists for — in a verification chain, an
+/// ignored IntegrityError *is* the vulnerability. Discarding must be
+/// explicit (cast to void with a comment saying why).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -77,7 +82,7 @@ class Status {
 /// Result<T>: either a value or an error Status. Modeled after
 /// arrow::Result. Access the value only after checking ok().
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : data_(std::move(value)) {}         // NOLINT(runtime/explicit)
   Result(Status status) : data_(std::move(status)) {}  // NOLINT(runtime/explicit)

@@ -50,14 +50,15 @@ VerifiedDigestCache::Entry* VerifiedDigestCache::Obtain(uint64_t chunk) {
     // Displace the least recently used *unpinned* entry (capacity is
     // small; a linear scan is cheaper than any index). Pinned chunks are
     // the ones in-flight batches' waivers and trimming hints depend on —
-    // evicting one mid-batch would fail an honest response.
-    auto pinned = [this](uint64_t chunk) {
-      return std::find(pinned_.begin(), pinned_.end(), chunk) !=
-             pinned_.end();
-    };
+    // evicting one mid-batch would fail an honest response. (Inline, not a
+    // lambda: thread-safety analysis cannot carry REQUIRES(mu_) into a
+    // lambda body, so a capture touching pinned_ would be a false alarm.)
     size_t victim = entries_.size();
     for (size_t i = 0; i < entries_.size(); ++i) {
-      if (pinned(entries_[i].chunk)) continue;
+      if (std::find(pinned_.begin(), pinned_.end(), entries_[i].chunk) !=
+          pinned_.end()) {
+        continue;
+      }
       if (victim == entries_.size() ||
           entries_[i].last_use < entries_[victim].last_use) {
         victim = i;
@@ -94,12 +95,12 @@ void VerifiedDigestCache::FillIn(Entry* e) {
 }
 
 void VerifiedDigestCache::Pin(const std::vector<uint64_t>& chunks) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   pinned_.insert(pinned_.end(), chunks.begin(), chunks.end());
 }
 
 void VerifiedDigestCache::Unpin(const std::vector<uint64_t>& chunks) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (uint64_t chunk : chunks) {
     auto it = std::find(pinned_.begin(), pinned_.end(), chunk);
     if (it != pinned_.end()) pinned_.erase(it);
@@ -111,7 +112,7 @@ bool VerifiedDigestCache::CanVerifyBare(uint64_t chunk, uint32_t first,
   // Pure probe: planner and fetcher may ask repeatedly while shaping one
   // batch, so hit/miss accounting happens at verification time
   // (RecordBareHit / the decryptor's material path), not here.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const Entry* e = Find(chunk);
   if (e == nullptr || first > last || last >= frags_) return false;
   uint64_t lo = first, hi = last, width = frags_;
@@ -126,19 +127,19 @@ bool VerifiedDigestCache::CanVerifyBare(uint64_t chunk, uint32_t first,
 }
 
 void VerifiedDigestCache::RecordBareHit() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++stats_.bare_hits;
 }
 
 void VerifiedDigestCache::RecordMiss() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++stats_.misses;
 }
 
 std::vector<ProofNode> VerifiedDigestCache::ProofFor(uint64_t chunk,
                                                      uint32_t first,
                                                      uint32_t last) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<ProofNode> proof;
   const Entry* e = Find(chunk);
   if (e == nullptr) return proof;
@@ -155,7 +156,7 @@ std::vector<ProofNode> VerifiedDigestCache::ProofFor(uint64_t chunk,
 }
 
 bool VerifiedDigestCache::Root(uint64_t chunk, Sha1Digest* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const Entry* e = Find(chunk);
   if (e == nullptr) return false;
   if (out != nullptr) *out = e->root;
@@ -168,7 +169,7 @@ bool VerifiedDigestCache::RootKnown(uint64_t chunk) const {
 
 bool VerifiedDigestCache::Node(uint64_t chunk, int level, uint64_t index,
                                Sha1Digest* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const Entry* e = Find(chunk);
   if (e == nullptr || level < 0 || level >= levels_ ||
       index >= (uint64_t{frags_} >> level)) {
@@ -181,7 +182,7 @@ bool VerifiedDigestCache::Node(uint64_t chunk, int level, uint64_t index,
 }
 
 uint64_t VerifiedDigestCache::KnownMask(uint64_t chunk) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const Entry* e = Find(chunk);
   if (e == nullptr || e->known.size() > 64) return 0;
   uint64_t mask = 0;
@@ -196,7 +197,7 @@ uint64_t VerifiedDigestCache::MissingProofNodes(uint64_t chunk, uint32_t first,
   // Same range guard as CanVerifyBare: a malformed range has no proof to
   // price (and must not index past the entry's node table).
   if (first > last || last >= frags_) return 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const Entry* e = Find(chunk);
   uint64_t missing = 0;
   uint64_t lo = first, hi = last, width = frags_;
@@ -225,7 +226,7 @@ uint64_t VerifiedDigestCache::FlatIndex(uint32_t fragments_per_chunk,
 }
 
 VerifiedDigestCache::Stats VerifiedDigestCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
@@ -234,7 +235,7 @@ void VerifiedDigestCache::Record(uint64_t chunk, const Sha1Digest& root,
                                  const std::vector<Sha1Digest>& leaves,
                                  const std::vector<ProofNode>& proof) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Entry* e = Obtain(chunk);
   if (e == nullptr) return;  // Every slot pinned by in-flight batches.
   e->root = root;

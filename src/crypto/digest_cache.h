@@ -2,9 +2,9 @@
 #define CSXA_CRYPTO_DIGEST_CACHE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "crypto/merkle.h"
 #include "crypto/sha1.h"
 
@@ -163,26 +163,30 @@ class VerifiedDigestCache {
     std::vector<uint8_t> known;
   };
 
-  void Pin(const std::vector<uint64_t>& chunks);
-  void Unpin(const std::vector<uint64_t>& chunks);
+  void Pin(const std::vector<uint64_t>& chunks) CSXA_EXCLUDES(mu_);
+  void Unpin(const std::vector<uint64_t>& chunks) CSXA_EXCLUDES(mu_);
 
-  // Lock-held internals (mu_ must be held by the caller).
-  size_t NodeIndex(int level, uint64_t index) const;
-  const Entry* Find(uint64_t chunk) const;
+  // Lock-held internals: the annotations make "mu_ must be held by the
+  // caller" a compile-time obligation under clang, not a comment.
+  size_t NodeIndex(int level, uint64_t index) const;  // Pure geometry.
+  const Entry* Find(uint64_t chunk) const CSXA_REQUIRES(mu_);
   /// Find or insert-with-eviction; nullptr when every evictable slot is
   /// pinned (the caller simply skips recording).
-  Entry* Obtain(uint64_t chunk);
-  void FillIn(Entry* e);
+  Entry* Obtain(uint64_t chunk) CSXA_REQUIRES(mu_);
+  void FillIn(Entry* e) CSXA_REQUIRES(mu_);
 
+  // Immutable after construction — readable without the lock.
   uint32_t frags_;
   int levels_;  ///< log2(frags_) + 1.
   size_t capacity_;
   uint32_t version_;
-  mutable std::mutex mu_;
-  mutable uint64_t clock_ = 0;
-  std::vector<Entry> entries_;
-  std::vector<uint64_t> pinned_;  ///< Multiset of chunks shielded from eviction.
-  mutable Stats stats_;
+
+  mutable Mutex mu_;
+  mutable uint64_t clock_ CSXA_GUARDED_BY(mu_) = 0;
+  std::vector<Entry> entries_ CSXA_GUARDED_BY(mu_);
+  /// Multiset of chunks shielded from eviction.
+  std::vector<uint64_t> pinned_ CSXA_GUARDED_BY(mu_);
+  mutable Stats stats_ CSXA_GUARDED_BY(mu_);
 };
 
 }  // namespace csxa::crypto

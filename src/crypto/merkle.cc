@@ -1,5 +1,12 @@
 #include "crypto/merkle.h"
 
+// Error-taxonomy contract (enforced by tools/csxa_lint.py): this module
+// reports malformed *caller* input as InvalidArgument and non-converging
+// proofs as Corruption — never IntegrityError. Deciding whether a failed
+// proof means tampering is the caller's job: every verification-path
+// caller wraps these into its own IntegrityError with a message naming
+// the attack surface.
+
 namespace csxa::crypto {
 
 const Sha1Digest& MerkleTree::EmptyLeaf() {

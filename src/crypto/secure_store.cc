@@ -394,7 +394,7 @@ Status SoeDecryptor::VerifyChunkAgainstMaterial(
     Sha1Digest cached_root;
     if (!cache_->Root(chunk, &cached_root) || cached_root != root.value()) {
       return Status::IntegrityError(
-          "chunk digest mismatch (tampered data?)");
+          "waived chunk digest does not match cached root (tampered data?)");
     }
     cache_->Record(chunk, root.value(), mat.first_fragment, leaves, proof);
     return Status::OK();
@@ -422,7 +422,9 @@ Status SoeDecryptor::VerifyChunkAgainstMaterial(
   }
   if (root_known) {
     if (known_root != root.value()) {
-      return Status::IntegrityError("chunk digest mismatch (tampered data?)");
+      return Status::IntegrityError(
+          "recomputed chunk root does not match authenticated root "
+          "(tampered data?)");
     }
   } else {
     // Decrypt the shipped digest (rather than comparing ciphertexts) so a
@@ -440,7 +442,8 @@ Status SoeDecryptor::VerifyChunkAgainstMaterial(
     }
     Sha1Digest bound = BindChunkIndex(chunk, root.value());
     if (!std::equal(bound.begin(), bound.end(), digest_plain.begin())) {
-      return Status::IntegrityError("chunk digest mismatch (tampered data?)");
+      return Status::IntegrityError(
+          "chunk digest does not bind this chunk's content (tampered data?)");
     }
     if (digest_version != expected_version_) {
       return Status::IntegrityError(
@@ -474,11 +477,13 @@ Result<std::vector<uint8_t>> SoeDecryptor::DecryptVerified(
   for (uint64_t c = expect_chunk; c <= last_chunk; ++c, ++mat_index) {
     if (mat_index >= resp.chunks.size() ||
         resp.chunks[mat_index].chunk_index != c) {
-      return Status::IntegrityError("missing integrity material for chunk");
+      return Status::IntegrityError(
+          "missing integrity material for chunk in range response");
     }
     const auto& mat = resp.chunks[mat_index];
     if (c >= chunk_count_) {
-      return Status::IntegrityError("chunk index out of bounds");
+      return Status::IntegrityError(
+          "chunk index out of bounds in range response");
     }
     uint64_t chunk_begin = c * layout_.chunk_size;
     uint64_t chunk_end = std::min(chunk_begin + layout_.chunk_size,
@@ -562,6 +567,7 @@ Status SoeDecryptor::DecryptVerifiedBatch(const BatchRequest& request,
   const uint32_t bs = backend_->block_size();
   const uint64_t padded_size = (plaintext_size_ + bs - 1) / bs * bs;
   if (out_size < plaintext_size_) {
+    // csxa-lint: allow(error-taxonomy) output sizing is SOE caller misuse, not attacker input
     return Status::InvalidArgument("output buffer smaller than document");
   }
   if (response.segments.size() != request.runs.size()) {
@@ -599,7 +605,8 @@ Status SoeDecryptor::DecryptVerifiedBatch(const BatchRequest& request,
     uint64_t last_chunk = (seg_end - 1) / layout_.chunk_size;
     for (uint64_t c = first_chunk; c <= last_chunk; ++c) {
       if (c >= chunk_count_) {
-        return Status::IntegrityError("chunk index out of bounds");
+        return Status::IntegrityError(
+            "chunk index out of bounds in batch response");
       }
       uint64_t chunk_begin = c * layout_.chunk_size;
       uint64_t chunk_end = std::min(chunk_begin + layout_.chunk_size,
@@ -650,7 +657,8 @@ Status SoeDecryptor::DecryptVerifiedBatch(const BatchRequest& request,
         cache_->Record(c, known_root, first, leaves, proof);
       } else {
         if (mat_index >= response.chunks.size()) {
-          return Status::IntegrityError("missing integrity material for chunk");
+          return Status::IntegrityError(
+              "missing integrity material for chunk in batch response");
         }
         const RangeResponse::ChunkMaterial& mat = response.chunks[mat_index];
         ++mat_index;
@@ -662,7 +670,8 @@ Status SoeDecryptor::DecryptVerifiedBatch(const BatchRequest& request,
           // of this chunk: anything narrower would have bytes decrypted
           // unverified, anything else is a misaligned proof.
           return Status::IntegrityError(
-              "integrity material does not cover the transferred range");
+              "integrity material does not cover the transferred range of "
+              "the batch segment");
         }
         CSXA_RETURN_NOT_OK(
             VerifyChunkAgainstMaterial(mat, c, leaves, &digest_memo));

@@ -2,6 +2,11 @@
 
 #include <cstring>
 
+// Error-taxonomy contract (enforced by tools/csxa_lint.py): every failure
+// in this file is IntegrityError. The decoder faces raw terminal bytes —
+// a frame it cannot parse *is* the attack surface, so there is no
+// "caller error" class here by definition.
+
 namespace csxa::crypto {
 
 namespace {

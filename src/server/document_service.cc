@@ -82,7 +82,7 @@ Status DocumentService::Publish(const std::string& doc_id,
   CSXA_ASSIGN_OR_RETURN(auto state, BuildState(xml, cfg, /*version=*/0));
   auto entry = std::make_shared<internal::DocumentEntry>();
   entry->Swap(std::move(state));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!docs_.emplace(doc_id, Published{cfg, std::move(entry)}).second) {
     return Status::InvalidArgument("document already published: " + doc_id);
   }
@@ -94,7 +94,7 @@ Status DocumentService::Update(const std::string& doc_id,
   DocumentConfig cfg;
   std::shared_ptr<internal::DocumentEntry> entry;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = docs_.find(doc_id);
     if (it == docs_.end()) {
       return Status::InvalidArgument("document not published: " + doc_id);
@@ -105,7 +105,7 @@ Status DocumentService::Update(const std::string& doc_id,
   // Serialized per entry so two racing updates of one document cannot
   // mint the same version number for different content (sessions could
   // then mix them undetected); updates of other documents proceed.
-  std::lock_guard<std::mutex> update_lock(entry->update_mu);
+  MutexLock update_lock(&entry->update_mu);
   const uint32_t next_version = entry->Current()->version + 1;
   CSXA_ASSIGN_OR_RETURN(auto state, BuildState(xml, cfg, next_version));
   entry->Swap(std::move(state));
@@ -114,7 +114,7 @@ Status DocumentService::Update(const std::string& doc_id,
 
 Result<std::shared_ptr<internal::DocumentEntry>> DocumentService::FindEntry(
     const std::string& doc_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = docs_.find(doc_id);
   if (it == docs_.end()) {
     return Status::InvalidArgument("document not published: " + doc_id);

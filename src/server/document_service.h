@@ -4,12 +4,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "access/access_rule.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "crypto/digest_cache.h"
 #include "crypto/secure_store.h"
 #include "index/variants.h"
@@ -66,24 +66,26 @@ class DocumentEntry : public crypto::BatchSource {
   Result<crypto::BatchResponse> ReadBatch(
       const crypto::BatchRequest& request) const override;
 
-  std::shared_ptr<const DocumentState> Current() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const DocumentState> Current() const CSXA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return state_;
   }
-  void Swap(std::shared_ptr<const DocumentState> next) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Swap(std::shared_ptr<const DocumentState> next) CSXA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     state_ = std::move(next);
   }
 
   /// Serializes this document's read-bump-swap update sequence (two
   /// racing updates must not mint the same version number for different
   /// content). Per entry, so one document's expensive rebuild never
-  /// stalls another's.
-  std::mutex update_mu;
+  /// stalls another's. Lock order: update_mu strictly before mu_ (the
+  /// update's final Swap runs under both; nothing acquires update_mu
+  /// with mu_ held).
+  Mutex update_mu CSXA_ACQUIRED_BEFORE(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::shared_ptr<const DocumentState> state_;
+  mutable Mutex mu_;
+  std::shared_ptr<const DocumentState> state_ CSXA_GUARDED_BY(mu_);
 };
 
 }  // namespace internal
@@ -185,12 +187,12 @@ class DocumentService {
   Result<std::shared_ptr<internal::DocumentEntry>> FindEntry(
       const std::string& doc_id) const;
 
-  mutable std::mutex mu_;  ///< Guards the registry, not the entries.
+  mutable Mutex mu_;  ///< Guards the registry, not the entries.
   struct Published {
     DocumentConfig cfg;
     std::shared_ptr<internal::DocumentEntry> entry;
   };
-  std::map<std::string, Published> docs_;
+  std::map<std::string, Published> docs_ CSXA_GUARDED_BY(mu_);
 };
 
 }  // namespace csxa::server

@@ -349,6 +349,23 @@ TEST(ResponseSemanticTampering) {
          std::swap(r->chunks[0].encrypted_digest,
                    r->chunks[1].encrypted_digest);
        }},
+      // Zero-length spans: every variable-length field emptied outright.
+      // Beyond the rejection these pin the UBSan contract — an empty
+      // vector's .data() is null, and a re-encode/decode/verify cycle over
+      // it must never hand that null to memcpy (the PR 7 UBSan class; the
+      // sanitizer CI job runs this file).
+      {"segment ciphertext emptied",
+       [](crypto::BatchResponse* r) { r->segments[0].ciphertext.clear(); }},
+      {"segment list emptied",
+       [](crypto::BatchResponse* r) { r->segments.clear(); }},
+      {"digest emptied",
+       [](crypto::BatchResponse* r) {
+         r->chunks[0].encrypted_digest.clear();
+       }},
+      {"proof list emptied",
+       [](crypto::BatchResponse* r) { r->chunks[0].proof.clear(); }},
+      {"material list emptied",
+       [](crypto::BatchResponse* r) { r->chunks.clear(); }},
   };
   CHECK(baseline.value().chunks.size() >= 2);
   CHECK(!baseline.value().chunks[0].proof.empty());

@@ -1,0 +1,676 @@
+#!/usr/bin/env python3
+"""csxa security-contract linter.
+
+Enforces the project invariants no generic static analyzer knows — the
+contracts the paper's threat model rests on, machine-checked at review
+time instead of rediscovered as runtime flakes:
+
+  error-taxonomy
+      In the attacker-input modules (src/crypto wire/verification code,
+      src/server), Status failure constructors are restricted to a
+      per-module allowlist, and functions on the verification path
+      (Decode*/Verify*/DecryptVerified*) may fail ONLY as IntegrityError.
+      This is the PR 7 bug class: a stale-session race misclassified as
+      InvalidArgument slipped through every attack test that only checked
+      "some error happened".
+
+  duplicate-integrity-message
+      Every Status::IntegrityError message literal must be unique across
+      src/. The fuzz corpus and the load harness pin failures by class
+      and diagnose them by message; two sites sharing one message make a
+      pinned rejection ambiguous.
+
+  unguarded-memcpy
+      No raw memcpy/memcmp on a container's .data() with a runtime size
+      unless a size guard appears in the enclosing statement (or the
+      statement right above it). This is the PR 7 UBSan class: memcpy
+      from a zero-length span's .data() is UB even for zero bytes.
+
+  naked-mutex
+      No std::mutex / std::lock_guard / std::unique_lock / etc. outside
+      src/common/thread_annotations.h. A naked std::mutex is invisible to
+      clang Thread Safety Analysis, so whatever it guards silently drops
+      out of the compile-time locking contract.
+
+Engines: a libclang AST engine (preferred when the clang python bindings
+are importable — CI installs them) and a token-level text engine that is
+always available; `--engine auto` uses libclang per file and falls back
+to the text engine wherever parsing is unavailable, so the gate never
+depends on the host having clang. Both engines are validated against the
+fixture tree in tools/lint_fixtures by `--self-test`.
+
+A site may waive one check with a justification comment on its own line
+or the line above:
+    // csxa-lint: allow(<check-name>) <reason>
+The reason is mandatory; a bare waiver is itself a finding.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# --------------------------------------------------------------------------
+# Policy
+# --------------------------------------------------------------------------
+
+FAILURE_CONSTRUCTORS = {
+    "InvalidArgument", "ParseError", "OutOfRange", "IntegrityError",
+    "Corruption", "NotSupported", "ResourceExhausted", "Internal",
+}
+
+# Per-module allowlists of Status failure constructors, first match wins
+# (paths are relative to --root, '/'-separated). Rationale per line: the
+# point is that *adding* a new failure class to an attacker-input module is
+# a reviewed policy change, not a drive-by.
+TAXONOMY_POLICY = [
+    # The wire decoder faces raw attacker bytes: every failure is an
+    # integrity failure by definition.
+    ("src/crypto/wire_format.cc", {"IntegrityError"}),
+    # Store/decryptor: IntegrityError on the verification path,
+    # InvalidArgument for owner/SOE API misuse (layout validation, output
+    # buffer sizing), OutOfRange for honest range math at the terminal.
+    ("src/crypto/secure_store.cc",
+     {"IntegrityError", "InvalidArgument", "OutOfRange"}),
+    # The digest cache never constructs failures (pure cache; verification
+    # failures belong to its callers).
+    ("src/crypto/digest_cache.cc", set()),
+    # Merkle proof-shape errors are wrapped into IntegrityError by every
+    # verification-path caller; the module itself reports malformed
+    # *caller* input (InvalidArgument) and non-converging proofs
+    # (Corruption).
+    ("src/crypto/merkle.cc", {"InvalidArgument", "Corruption"}),
+    # Backend registry: unknown backend names are caller errors.
+    ("src/crypto/cipher_backend.cc", {"InvalidArgument"}),
+    # Default for the rest of src/crypto and all of src/server: the
+    # integrity class plus caller errors; anything else (Corruption,
+    # Internal, ...) is a policy change.
+    ("src/crypto/", {"IntegrityError", "InvalidArgument"}),
+    ("src/server/", {"IntegrityError", "InvalidArgument"}),
+]
+
+# Functions on the verification path: whatever the module allowlist says,
+# these may only fail as IntegrityError — they judge attacker input, and a
+# non-integrity class here is exactly the PR 7 misclassification.
+STRICT_FUNCTION_RE = re.compile(r"^(Decode|Verify|DecryptVerified)")
+STRICT_ALLOWED = {"IntegrityError"}
+
+# Directories scanned per check (relative to root).
+TAXONOMY_DIRS = ("src/crypto", "src/server")
+MESSAGE_DIRS = ("src",)
+MEMCPY_DIRS = ("src", "tools")
+MUTEX_DIRS = ("src", "tools")
+MUTEX_EXEMPT = "src/common/thread_annotations.h"
+
+WAIVER_RE = re.compile(r"csxa-lint:\s*allow\(([a-z-]+)\)\s*(\S.*)?")
+
+CHECKS = ("error-taxonomy", "duplicate-integrity-message",
+          "unguarded-memcpy", "naked-mutex")
+
+
+class Finding:
+    def __init__(self, path, line, check, message):
+        self.path = path
+        self.line = line
+        self.check = check
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: error: [%s] %s" % (self.path, self.line, self.check,
+                                          self.message)
+
+
+# --------------------------------------------------------------------------
+# Shared lexical helpers
+# --------------------------------------------------------------------------
+
+def strip_comments_and_strings(text):
+    """Returns text with comments and string/char literal *contents* blanked
+    (same length, newlines preserved) so structural scans never match inside
+    them."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            seg = text[i:j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in seg))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(quote + " " * (min(j, n) - i - 1) +
+                       (quote if j < n else ""))
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def waivers_by_line(text):
+    """line -> (check, has_reason) for every waiver comment, applying to
+    the waiver's own line and the one below."""
+    waivers = {}
+    for m in WAIVER_RE.finditer(text):
+        line = line_of(text, m.start())
+        entry = (m.group(1), bool(m.group(2)))
+        waivers[line] = entry
+        waivers[line + 1] = entry
+    return waivers
+
+
+def waived(waivers, line, check, findings, path):
+    w = waivers.get(line)
+    if w is None or w[0] != check:
+        return False
+    if not w[1]:
+        findings.append(Finding(path, line, check,
+                                "waiver without a justification"))
+    return True
+
+
+def enclosing_functions(stripped):
+    """Best-effort map of brace regions to function names.
+
+    Returns a list of (start_offset, end_offset, name) for every
+    function-looking brace block, outermost first. Namespace / class /
+    enum braces are classified out by the text preceding their '{'."""
+    regions = []
+    stack = []  # (offset, kind, name)
+    i, n = 0, len(stripped)
+    while i < n:
+        c = stripped[i]
+        if c == "{":
+            head = stripped[max(0, i - 400):i]
+            kind, name = _classify_block(head)
+            stack.append((i, kind, name))
+        elif c == "}":
+            if stack:
+                start, kind, name = stack.pop()
+                if kind == "function":
+                    regions.append((start, i, name))
+        i += 1
+    return regions
+
+
+_FUNC_NAME_RE = re.compile(
+    r"([A-Za-z_]\w*)\s*(?:::\s*[A-Za-z_]\w*\s*)*\([^()]*(?:\([^()]*\)[^()]*)*\)"
+    r"\s*(?:const|noexcept|override|final|->\s*[\w:<>,&*\s]+|\s)*$")
+
+
+_CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch", "return",
+                     "sizeof", "do", "else", "try"}
+
+
+def _classify_block(head):
+    head = head.rstrip()
+    if re.search(r"\bnamespace\b[^{};]*$", head):
+        return "other", None
+    if re.search(r"\b(struct|class|union|enum)\b[^(){};]*$", head):
+        return "other", None
+    if head.endswith("=") or head.endswith("return"):
+        return "other", None  # Braced initializer.
+    m = _FUNC_NAME_RE.search(head)
+    if m:
+        # The name is the identifier right before the final '(' — walk the
+        # matched text for the last identifier preceding its paren group.
+        sig = m.group(0)
+        paren = sig.index("(")
+        name_m = re.search(r"([A-Za-z_]\w*)\s*$", sig[:paren])
+        if name_m and name_m.group(1) not in _CONTROL_KEYWORDS:
+            return "function", name_m.group(1)
+    return "other", None
+
+
+def function_at(regions, offset):
+    best = None
+    for start, end, name in regions:
+        if start <= offset <= end:
+            if best is None or start > best[0]:
+                best = (start, name)
+    return best[1] if best else None
+
+
+def extract_call(text, open_paren):
+    """Returns (args_text, end_offset) of the parenthesized call starting at
+    text[open_paren] == '('."""
+    depth = 0
+    for j in range(open_paren, len(text)):
+        if text[j] == "(":
+            depth += 1
+        elif text[j] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren + 1:j], j
+    return text[open_paren + 1:], len(text)
+
+
+def leading_literal(raw_args):
+    """Concatenated leading string literal of an argument list, or None."""
+    s = raw_args.lstrip()
+    parts = []
+    while s.startswith('"'):
+        m = re.match(r'"((?:[^"\\]|\\.)*)"\s*', s)
+        if not m:
+            break
+        parts.append(m.group(1))
+        s = s[m.end():]
+    if not parts:
+        return None
+    return "".join(parts)
+
+
+# --------------------------------------------------------------------------
+# Text engine: error-taxonomy + unguarded-memcpy
+# --------------------------------------------------------------------------
+
+STATUS_CALL_RE = re.compile(r"Status::([A-Za-z]+)\s*\(")
+MEM_CALL_RE = re.compile(r"(?:std::)?mem(?:cpy|cmp|move|set)\s*\(")
+GUARD_TOKEN_RE = re.compile(r"[<>]|!=|==|\bempty\s*\(|\bmin\b|\bmax\b")
+INT_LITERAL_RE = re.compile(r"^(?:\(\s*)*(?:\d+|0x[0-9a-fA-F]+|sizeof\b.*)")
+
+
+def split_top_level_args(args):
+    out, depth, cur = [], 0, []
+    for ch in args:
+        if ch in "([{<":
+            depth += 1
+        elif ch in ")]}>":
+            depth -= 1
+        if ch == "," and depth == 0:
+            out.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    out.append("".join(cur))
+    return [a.strip() for a in out]
+
+
+class TextEngine:
+    name = "text"
+
+    def taxonomy(self, path, rel, text, stripped, waivers, findings):
+        allowed = _allowlist_for(rel)
+        if allowed is None:
+            return
+        regions = enclosing_functions(stripped)
+        for m in STATUS_CALL_RE.finditer(stripped):
+            ctor = m.group(1)
+            if ctor not in FAILURE_CONSTRUCTORS:
+                continue
+            line = line_of(stripped, m.start())
+            func = function_at(regions, m.start())
+            _judge_taxonomy(path, rel, line, ctor, func, allowed, waivers,
+                            findings)
+
+    def memcpy(self, path, rel, text, stripped, waivers, findings):
+        lines = stripped.split("\n")
+        for m in MEM_CALL_RE.finditer(stripped):
+            open_paren = stripped.index("(", m.start())
+            args, _ = extract_call(stripped, open_paren)
+            line = line_of(stripped, m.start())
+            _judge_memcpy(path, line, args, lines, waivers, findings)
+
+
+def _allowlist_for(rel):
+    if not rel.startswith(tuple(d + "/" for d in TAXONOMY_DIRS)):
+        return None
+    for prefix, allowed in TAXONOMY_POLICY:
+        if rel == prefix or rel.startswith(prefix):
+            return allowed
+    return None
+
+
+def _judge_taxonomy(path, rel, line, ctor, func, allowed, waivers, findings):
+    if waived(waivers, line, "error-taxonomy", findings, path):
+        return
+    if func is not None and STRICT_FUNCTION_RE.match(func):
+        if ctor not in STRICT_ALLOWED:
+            findings.append(Finding(
+                path, line, "error-taxonomy",
+                "Status::%s in verification-path function %s(): attacker "
+                "input must fail as IntegrityError" % (ctor, func)))
+            return
+    if ctor not in allowed:
+        findings.append(Finding(
+            path, line, "error-taxonomy",
+            "Status::%s not in the failure-constructor allowlist for %s "
+            "(allowed: %s)" % (ctor, rel,
+                               ", ".join(sorted(allowed)) or "none")))
+
+
+def _judge_memcpy(path, line, args, lines, waivers, findings):
+    if ".data()" not in args:
+        return
+    parts = split_top_level_args(args)
+    if len(parts) >= 3 and INT_LITERAL_RE.match(parts[-1]):
+        return  # Compile-time-constant size: cannot be a zero-length span.
+    if waived(waivers, line, "unguarded-memcpy", findings, path):
+        return
+    # Guard window: the call's own statement (which may start on earlier
+    # lines) plus the two lines above it — enough for the idioms
+    #   if (k != 0) std::memcpy(...)
+    #   if (whole > 0) {\n  std::memcpy(...)
+    lo = max(0, line - 3)
+    window = "\n".join(lines[lo:line])
+    for cond in re.finditer(r"\bif\s*\(", window):
+        cond_text, _ = extract_call(window, window.index("(", cond.start()))
+        if GUARD_TOKEN_RE.search(cond_text):
+            return
+    findings.append(Finding(
+        path, line, "unguarded-memcpy",
+        "raw mem* on container .data() with a runtime size and no size "
+        "guard in the enclosing statement (zero-length spans hand mem* a "
+        "null/one-past-end pointer: UB)"))
+
+
+# --------------------------------------------------------------------------
+# libclang engine: same checks, AST-accurate function attribution
+# --------------------------------------------------------------------------
+
+class LibclangEngine:
+    name = "libclang"
+
+    def __init__(self, root):
+        import clang.cindex  # noqa: F401 — probes availability.
+        self._cindex = clang.cindex
+        self._index = clang.cindex.Index.create()
+        self._args = ["-std=c++20", "-I", os.path.join(root, "src")]
+
+    def _parse(self, path):
+        tu = self._index.parse(path, args=self._args)
+        for d in tu.diagnostics:
+            if d.severity >= self._cindex.Diagnostic.Fatal:
+                raise RuntimeError("libclang failed to parse %s: %s" %
+                                   (path, d.spelling))
+        return tu
+
+    def _function_extents(self, tu, path):
+        """(start_line, end_line, name) for every function definition in
+        this file; calls are attributed to the innermost containing extent.
+        Lambdas are deliberately excluded so a call inside a lambda
+        attributes to the named function that owns it (matching the text
+        engine and the intent of the strict-function rule)."""
+        kinds = self._cindex.CursorKind
+        extents = []
+        for c in tu.cursor.walk_preorder():
+            if c.kind not in (kinds.FUNCTION_DECL, kinds.CXX_METHOD,
+                              kinds.FUNCTION_TEMPLATE, kinds.CONSTRUCTOR,
+                              kinds.DESTRUCTOR):
+                continue
+            if not c.is_definition():
+                continue
+            loc = c.location
+            if loc.file is None or os.path.abspath(loc.file.name) != \
+                    os.path.abspath(path):
+                continue
+            extents.append((c.extent.start.line, c.extent.end.line,
+                            c.spelling))
+        return extents
+
+    @staticmethod
+    def _enclosing_function(extents, line):
+        best = None
+        for start, end, name in extents:
+            if start <= line <= end:
+                if best is None or start > best[0]:
+                    best = (start, name)
+        return best[1] if best else None
+
+    def taxonomy(self, path, rel, text, stripped, waivers, findings):
+        allowed = _allowlist_for(rel)
+        if allowed is None:
+            return
+        kinds = self._cindex.CursorKind
+        tu = self._parse(path)
+        extents = self._function_extents(tu, path)
+        for cursor in tu.cursor.walk_preorder():
+            if cursor.kind != kinds.CALL_EXPR:
+                continue
+            if cursor.spelling not in FAILURE_CONSTRUCTORS:
+                continue
+            ref = cursor.referenced
+            parent = ref.semantic_parent if ref is not None else None
+            if parent is None or parent.spelling != "Status":
+                continue
+            loc = cursor.location
+            if loc.file is None or os.path.abspath(loc.file.name) != \
+                    os.path.abspath(path):
+                continue
+            func = self._enclosing_function(extents, loc.line)
+            _judge_taxonomy(path, rel, loc.line, cursor.spelling, func,
+                            allowed, waivers, findings)
+
+    def memcpy(self, path, rel, text, stripped, waivers, findings):
+        kinds = self._cindex.CursorKind
+        lines = stripped.split("\n")
+        tu = self._parse(path)
+        for cursor in tu.cursor.walk_preorder():
+            if cursor.kind != kinds.CALL_EXPR:
+                continue
+            if cursor.spelling not in ("memcpy", "memcmp", "memmove",
+                                       "memset"):
+                continue
+            loc = cursor.location
+            if loc.file is None or os.path.abspath(loc.file.name) != \
+                    os.path.abspath(path):
+                continue
+            ext = cursor.extent
+            args = text[_offset_of(text, ext.start.line, ext.start.column):
+                        _offset_of(text, ext.end.line, ext.end.column)]
+            paren = args.find("(")
+            if paren == -1:
+                continue
+            _judge_memcpy(path, loc.line, args[paren + 1:-1], lines, waivers,
+                          findings)
+
+
+def _offset_of(text, line, column):
+    off = 0
+    for _ in range(line - 1):
+        off = text.index("\n", off) + 1
+    return off + column - 1
+
+
+# --------------------------------------------------------------------------
+# Whole-tree textual checks (identical under both engines)
+# --------------------------------------------------------------------------
+
+INTEGRITY_CALL_RE = re.compile(r"Status::IntegrityError\s*\(")
+
+MUTEX_TOKEN_RE = re.compile(
+    r"std::(mutex|recursive_mutex|shared_mutex|timed_mutex|lock_guard|"
+    r"unique_lock|scoped_lock|shared_lock|condition_variable)\b")
+
+
+def check_integrity_messages(files, findings):
+    seen = {}  # message -> (path, line)
+    for path, rel, text, stripped, waivers in files:
+        if not rel.startswith(tuple(d + "/" for d in MESSAGE_DIRS)):
+            continue
+        for m in INTEGRITY_CALL_RE.finditer(stripped):
+            open_paren = stripped.index("(", m.start())
+            _, end = extract_call(stripped, open_paren)
+            literal = leading_literal(text[open_paren + 1:end])
+            line = line_of(stripped, m.start())
+            if literal is None:
+                continue  # Message assembled at runtime; class still pinned.
+            if waived(waivers, line, "duplicate-integrity-message", findings,
+                      path):
+                continue
+            if literal in seen:
+                first = seen[literal]
+                findings.append(Finding(
+                    path, line, "duplicate-integrity-message",
+                    "IntegrityError message %r already used at %s:%d — fuzz "
+                    "pins become ambiguous" % (literal, first[0], first[1])))
+            else:
+                seen[literal] = (path, line)
+
+
+def check_naked_mutex(files, findings):
+    for path, rel, text, stripped, waivers in files:
+        if not rel.startswith(tuple(d + "/" for d in MUTEX_DIRS)):
+            continue
+        if rel == MUTEX_EXEMPT:
+            continue
+        for m in MUTEX_TOKEN_RE.finditer(stripped):
+            line = line_of(stripped, m.start())
+            if waived(waivers, line, "naked-mutex", findings, path):
+                continue
+            findings.append(Finding(
+                path, line, "naked-mutex",
+                "std::%s outside thread_annotations.h — invisible to clang "
+                "Thread Safety Analysis; use csxa::Mutex / csxa::MutexLock"
+                % m.group(1)))
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+def collect_files(root):
+    files = []
+    dirs = sorted({d.split("/")[0] for d in
+                   TAXONOMY_DIRS + MESSAGE_DIRS + MEMCPY_DIRS + MUTEX_DIRS})
+    for top in dirs:
+        for dirpath, _, names in os.walk(os.path.join(root, top)):
+            for name in sorted(names):
+                if not name.endswith((".cc", ".h")):
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, root).replace(os.sep, "/")
+                # The fixture tree is deliberate violations for --self-test;
+                # scanning it in the real lint would defeat its purpose.
+                if rel.startswith("tools/lint_fixtures/"):
+                    continue
+                with open(path, encoding="utf-8") as f:
+                    text = f.read()
+                stripped = strip_comments_and_strings(text)
+                files.append((path, rel, text, stripped,
+                              waivers_by_line(text)))
+    return files
+
+
+def make_engine(kind, root):
+    if kind in ("auto", "libclang"):
+        try:
+            return LibclangEngine(root)
+        except Exception as e:  # noqa: BLE001 — any import/ABI failure.
+            if kind == "libclang":
+                raise SystemExit("csxa_lint: libclang engine unavailable: %s"
+                                 % e)
+    return TextEngine()
+
+
+def run_lint(root, engine_kind):
+    files = collect_files(root)
+    engine = make_engine(engine_kind, root)
+    text_engine = TextEngine()
+    findings = []
+    for path, rel, text, stripped, waivers in files:
+        eng = engine
+        try:
+            eng.taxonomy(path, rel, text, stripped, waivers, findings)
+            eng.memcpy(path, rel, text, stripped, waivers, findings)
+        except Exception:  # AST engine choked on this file: text fallback.
+            if eng is text_engine:
+                raise
+            text_engine.taxonomy(path, rel, text, stripped, waivers, findings)
+            text_engine.memcpy(path, rel, text, stripped, waivers, findings)
+    check_integrity_messages(files, findings)
+    check_naked_mutex(files, findings)
+    return findings, engine.name
+
+
+# --------------------------------------------------------------------------
+# Self-test against the committed fixtures
+# --------------------------------------------------------------------------
+
+# (relative path, line, check) triples the fixture tree must produce —
+# exactly these, no more. Lines are pinned so a drifting engine fails
+# loudly rather than approximately.
+EXPECTED_FIXTURE_FINDINGS = {
+    ("src/crypto/wire_format.cc", 9, "error-taxonomy"),
+    ("src/crypto/wire_format.cc", 14, "error-taxonomy"),
+    ("src/crypto/secure_store.cc", 9, "error-taxonomy"),
+    ("src/crypto/secure_store.cc", 24, "duplicate-integrity-message"),
+    ("src/crypto/secure_store.cc", 31, "unguarded-memcpy"),
+    ("src/server/document_service.cc", 8, "error-taxonomy"),
+    ("src/server/document_service.cc", 15, "naked-mutex"),
+    ("src/server/document_service.cc", 16, "naked-mutex"),
+    ("src/server/document_service.cc", 22, "unguarded-memcpy"),
+}
+
+
+def self_test(fixture_root):
+    ok = True
+    engines = ["text"]
+    try:
+        LibclangEngine(fixture_root)
+        engines.append("libclang")
+    except Exception:
+        print("self-test: libclang unavailable, testing text engine only")
+    for kind in engines:
+        findings, name = run_lint(fixture_root, kind)
+        got = {(os.path.relpath(f.path, fixture_root).replace(os.sep, "/"),
+                f.line, f.check) for f in findings}
+        missing = EXPECTED_FIXTURE_FINDINGS - got
+        extra = got - EXPECTED_FIXTURE_FINDINGS
+        if missing or extra:
+            ok = False
+            for item in sorted(missing):
+                print("self-test[%s]: MISSED expected finding: %s:%d [%s]"
+                      % (name, *item))
+            for item in sorted(extra):
+                print("self-test[%s]: UNEXPECTED finding: %s:%d [%s]"
+                      % (name, *item))
+        else:
+            print("self-test[%s]: %d/%d seeded violations caught, no false "
+                  "positives" % (name, len(got),
+                                 len(EXPECTED_FIXTURE_FINDINGS)))
+    return ok
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))),
+        help="repo root to lint (default: this script's repo)")
+    ap.add_argument("--engine", choices=["auto", "text", "libclang"],
+                    default="auto")
+    ap.add_argument("--self-test", action="store_true",
+                    help="lint the committed fixture tree and assert every "
+                         "seeded violation is caught")
+    args = ap.parse_args()
+
+    if args.self_test:
+        fixture_root = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                    "lint_fixtures")
+        sys.exit(0 if self_test(fixture_root) else 1)
+
+    findings, engine = run_lint(args.root, args.engine)
+    for f in sorted(findings, key=lambda f: (f.path, f.line)):
+        print(f)
+    if findings:
+        print("csxa_lint[%s]: %d finding(s)" % (engine, len(findings)))
+        sys.exit(1)
+    print("csxa_lint[%s]: clean" % engine)
+
+
+if __name__ == "__main__":
+    main()

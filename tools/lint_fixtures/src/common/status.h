@@ -1,0 +1,24 @@
+// Minimal Status mock so the libclang engine can parse the fixtures as
+// real C++ (the text engine does not need it). Mirrors the constructor
+// set of src/common/status.h; carries no violations itself.
+#ifndef CSXA_LINT_FIXTURES_COMMON_STATUS_H_
+#define CSXA_LINT_FIXTURES_COMMON_STATUS_H_
+
+#include <string>
+
+namespace csxa {
+class Status {
+ public:
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string) { return Status(); }
+  static Status ParseError(std::string) { return Status(); }
+  static Status OutOfRange(std::string) { return Status(); }
+  static Status IntegrityError(std::string) { return Status(); }
+  static Status Corruption(std::string) { return Status(); }
+  static Status NotSupported(std::string) { return Status(); }
+  static Status ResourceExhausted(std::string) { return Status(); }
+  static Status Internal(std::string) { return Status(); }
+};
+}  // namespace csxa
+
+#endif  // CSXA_LINT_FIXTURES_COMMON_STATUS_H_

@@ -1,0 +1,51 @@
+// Fixture: store-side violations — a failure class outside the module
+// allowlist, a duplicated IntegrityError message, and a memcpy on
+// .data() with no size guard in reach.
+#include <cstring>
+#include <vector>
+#include "common/status.h"
+
+namespace csxa::crypto {
+Status Broke() { return Status::Internal("fixture: invariant broken"); }
+
+Status CheckDigest(bool ok) {
+  if (!ok) {
+    return Status::IntegrityError("fixture: digest mismatch");
+  }
+  return Status::OK();
+}
+
+// The same message as line 13 — a pinned fuzz rejection can no longer
+// tell the two sites apart.
+Status CheckRoot(bool ok) {
+  if (ok) {
+    return Status::OK();
+  }
+  return Status::IntegrityError("fixture: digest mismatch");
+}
+
+// Zero-length vectors return a null .data(); handing it to memcpy is UB
+// even for zero bytes.
+void CopyOut(const std::vector<unsigned char>& src, unsigned char* dst,
+             unsigned long n) {
+  std::memcpy(dst, src.data(), n);
+}
+
+// Clean counter-examples: none of these may produce a finding.
+void CopyGuarded(const std::vector<unsigned char>& src,
+                 unsigned char* dst) {
+  if (!src.empty()) {
+    std::memcpy(dst, src.data(), src.size());
+  }
+}
+
+void CopyFixed(const std::vector<unsigned char>& src, unsigned char* dst) {
+  std::memcpy(dst, src.data(), 16);
+}
+
+void CopyWaived(const std::vector<unsigned char>& src, unsigned char* dst,
+                unsigned long n) {
+  // csxa-lint: allow(unguarded-memcpy) caller contract guarantees n > 0
+  std::memcpy(dst, src.data(), n);
+}
+}  // namespace csxa::crypto

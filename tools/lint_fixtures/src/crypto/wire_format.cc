@@ -1,0 +1,18 @@
+// Fixture: the wire decoder's failure allowlist is {IntegrityError} and
+// Decode* functions are verification-path strict — both violated below.
+#include "common/status.h"
+
+namespace csxa::crypto {
+
+Status HandleFrame(int n) {
+  if (n < 0) {
+    return Status::InvalidArgument("fixture: negative frame");
+  }
+  return Status::IntegrityError("fixture: frame rejected");
+}
+csxa::Status DecodeFrame(int n) {
+  if (n == 0) return Status::Corruption("fixture: empty frame");
+  return Status::OK();
+}
+
+}  // namespace csxa::crypto

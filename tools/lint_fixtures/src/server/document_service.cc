@@ -1,0 +1,31 @@
+// Fixture: server-side violations — a failure class outside the module
+// allowlist, mutex types invisible to thread-safety analysis, and an
+// unguarded memcmp on .data().
+#include <cstring>
+#include <mutex>
+#include <vector>
+#include "common/status.h"
+csxa::Status Reject() { return csxa::Status::Corruption("fixture: bad entry"); }
+
+namespace csxa::server {
+
+// std::mutex and std::lock_guard are invisible to clang Thread Safety
+// Analysis — the locking contract must go through csxa::Mutex.
+struct Registry {
+  std::mutex mu;
+  void Touch() { std::lock_guard<std::mutex> lock(mu); }
+};
+
+bool SameBytes(const std::vector<unsigned char>& a,
+               const std::vector<unsigned char>& b) {
+  // (no emptiness guard anywhere in reach)
+  return std::memcmp(a.data(), b.data(), a.size()) == 0;
+}
+
+// Waived with a justification: no finding.
+struct Legacy {
+  // csxa-lint: allow(naked-mutex) interop with an external pool API
+  std::mutex legacy_mu;
+};
+
+}  // namespace csxa::server
