@@ -6,12 +6,16 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <thread>
 
 #include "access/access_rule.h"
 #include "access/rule_evaluator.h"
 #include "common/clock.h"
 #include "common/thread_annotations.h"
+#include "net/fault_proxy.h"
+#include "net/remote_source.h"
+#include "net/terminal_server.h"
 #include "pipeline/secure_pipeline.h"
 #include "server/document_service.h"
 #include "xml/sax_parser.h"
@@ -169,6 +173,49 @@ Result<LoadReport> RunLoad(const LoadConfig& config) {
     docs.push_back(std::move(doc));
   }
 
+  // ---- Remote transport: a real TCP boundary under every serve ---------
+  // The terminal server exposes the same live entries the in-process path
+  // reads; the proxy (when weather is requested) sits between it and each
+  // document's RemoteBatchSource. Geometry, keys and the shared digest
+  // cache stay local, so nothing the wire mangles can change what a serve
+  // will accept — only whether it completes.
+  const bool faults_active = config.remote && config.fault_count > 0;
+  std::unique_ptr<net::TerminalServer> terminal;
+  std::unique_ptr<net::FaultProxy> proxy;
+  if (config.remote) {
+    terminal = std::make_unique<net::TerminalServer>();
+    for (const Doc& doc : docs) {
+      CSXA_ASSIGN_OR_RETURN(auto link, service.TerminalLink(doc.id));
+      terminal->RegisterDocument(doc.id, std::move(link));
+    }
+    CSXA_RETURN_NOT_OK(terminal->Start());
+    uint16_t attach_port = terminal->port();
+    if (faults_active || config.rtt_ns > 0) {
+      net::FaultProxy::Options popts;
+      popts.upstream_port = terminal->port();
+      popts.rtt_ns = config.rtt_ns;
+      if (faults_active) {
+        popts.program = net::FaultProxy::SeededProgram(
+            config.fault_seed, config.fault_count, config.fault_horizon);
+      }
+      proxy = std::make_unique<net::FaultProxy>(std::move(popts));
+      CSXA_RETURN_NOT_OK(proxy->Start());
+      attach_port = proxy->port();
+    }
+    for (size_t d = 0; d < docs.size(); ++d) {
+      net::RemoteBatchSource::Options ropts;
+      ropts.port = attach_port;
+      ropts.doc_id = docs[d].id;
+      ropts.deadline_ns = 1'000'000'000;
+      ropts.max_attempts = 6;
+      ropts.backoff_initial_ns = 1'000'000;
+      ropts.backoff_max_ns = 50'000'000;
+      ropts.jitter_seed = config.seed * 1000003ULL + d;
+      CSXA_RETURN_NOT_OK(service.AttachTransport(
+          docs[d].id, std::make_shared<net::RemoteBatchSource>(ropts)));
+    }
+  }
+
   // ---- Racing phase: worker pool vs churn thread -----------------------
   // Cross-thread results: scalar tallies are atomics; everything that
   // cannot be (the latency samples, the per-document breakdowns) lives
@@ -183,6 +230,7 @@ Result<LoadReport> RunLoad(const LoadConfig& config) {
     std::atomic<uint64_t> wrong_errors{0}, mismatches{0}, wire_total{0};
     std::atomic<uint64_t> decrypt_bytes{0}, decrypt_ns{0};
     std::atomic<uint64_t> hash_bytes{0}, hash_ns{0}, fetched_bytes{0};
+    std::atomic<uint64_t> retries{0}, reconnects{0}, transport_rejected{0};
   } race;
   {
     MutexLock lock(&race.mu);
@@ -209,6 +257,8 @@ Result<LoadReport> RunLoad(const LoadConfig& config) {
       race.hash_bytes.fetch_add(report.value().soe.bytes_hashed);
       race.hash_ns.fetch_add(report.value().soe.hash_ns);
       race.fetched_bytes.fetch_add(report.value().bytes_fetched);
+      race.retries.fetch_add(report.value().retries);
+      race.reconnects.fetch_add(report.value().reconnects);
       bool known = false;
       for (int v = 0; v < versions && !known; ++v) {
         known = report.value().view == doc.views[v][role];
@@ -217,12 +267,19 @@ Result<LoadReport> RunLoad(const LoadConfig& config) {
       race.latencies.push_back(dt);
       race.doc_completed[d]++;
       if (!known) race.mismatches.fetch_add(1);
-    } else if (racing &&
+    } else if ((racing || faults_active) &&
                report.status().code() == StatusCode::kIntegrityError) {
-      // A bump raced this serve: failing closed is the contract.
+      // A bump raced this serve — or a tampering-class fault (truncated /
+      // corrupted frame) hit it: failing closed is the contract.
       race.rejections.fetch_add(1);
       MutexLock lock(&race.mu);
       race.doc_rejections[d]++;
+    } else if (faults_active &&
+               (report.status().code() == StatusCode::kUnavailable ||
+                report.status().code() == StatusCode::kDeadlineExceeded)) {
+      // Programmed weather outlasted the retry ladder: a typed transport
+      // failure is the contracted outcome, never a view.
+      race.transport_rejected.fetch_add(1);
     } else {
       // Outside a race, or with a non-integrity code, a failure is a bug.
       // Surface the first offending status: a wrong-class count alone is
@@ -279,6 +336,20 @@ Result<LoadReport> RunLoad(const LoadConfig& config) {
   }
   const uint64_t wall = NowNs() - wall0;
 
+  // ---- Remote teardown (before reporting, so fault tallies are final) --
+  uint64_t faults_fired = 0;
+  if (proxy != nullptr) {
+    faults_fired = proxy->faults_fired();
+    proxy->Stop();
+  }
+  if (terminal != nullptr) terminal->Stop();
+  if (config.remote) {
+    // Detaching releases each RemoteBatchSource, joining its reader.
+    for (const Doc& doc : docs) {
+      CSXA_RETURN_NOT_OK(service.AttachTransport(doc.id, nullptr));
+    }
+  }
+
   // ---- Report ----------------------------------------------------------
   // Workers and churn are joined; the lock is uncontended but still taken
   // so the guarded vectors' single reader is the one the analysis proves.
@@ -293,6 +364,13 @@ Result<LoadReport> RunLoad(const LoadConfig& config) {
   report.integrity_rejections = race.rejections.load();
   report.wrong_errors = race.wrong_errors.load();
   report.view_mismatches = race.mismatches.load();
+  report.remote = config.remote;
+  report.rtt_ns = config.rtt_ns;
+  report.transport_retries = race.retries.load();
+  report.transport_reconnects = race.reconnects.load();
+  report.transport_rejections = race.transport_rejected.load();
+  report.faults_programmed = faults_active ? config.fault_count : 0;
+  report.faults_fired = faults_fired;
   report.wall_ns = wall;
   report.serves_per_sec =
       wall == 0 ? 0.0
@@ -358,6 +436,14 @@ void LoadReport::AppendJson(std::string* out,
   AppendField(out, "integrity_rejections", integrity_rejections);
   AppendField(out, "wrong_errors", wrong_errors);
   AppendField(out, "view_mismatches", view_mismatches, false);
+  *out += ",\n" + indent + "  ";
+  *out += std::string("\"remote\": ") + (remote ? "true" : "false") + ", ";
+  AppendField(out, "rtt_ns", rtt_ns);
+  AppendField(out, "transport_retries", transport_retries);
+  AppendField(out, "transport_reconnects", transport_reconnects);
+  AppendField(out, "transport_rejections", transport_rejections);
+  AppendField(out, "faults_programmed", faults_programmed);
+  AppendField(out, "faults_fired", faults_fired, false);
   *out += ",\n" + indent + "  ";
   AppendField(out, "wall_ns", wall_ns);
   std::snprintf(buf, sizeof(buf), "\"serves_per_sec\": %.2f, ",

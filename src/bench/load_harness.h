@@ -46,6 +46,21 @@ struct LoadConfig {
   bool warm_sweep = true;
   /// Cipher backend every published document is encrypted under.
   crypto::CipherBackendKind backend = crypto::CipherBackendKind::k3Des;
+
+  /// Remote transport mode: every serve reads its batches over a real TCP
+  /// round trip — each document entry is registered on an in-process
+  /// net::TerminalServer and re-attached through a net::RemoteBatchSource,
+  /// optionally through a fault-injecting proxy. The serve contract widens
+  /// only when faults are programmed: a serve may then also fail with the
+  /// retryable transport classes (kUnavailable / kDeadlineExceeded) once
+  /// the retry ladder runs dry — still typed, still never a wrong view.
+  bool remote = false;
+  uint64_t rtt_ns = 0;  ///< Injected round-trip time (0 = none).
+  /// Seeded fault events programmed into the proxy (0 = clean pipe).
+  uint64_t fault_count = 0;
+  uint64_t fault_seed = 42;
+  /// Response horizon the fault events are spread over.
+  uint64_t fault_horizon = 96;
 };
 
 struct LoadReport {
@@ -71,8 +86,20 @@ struct LoadReport {
   /// Stale sessions failing closed during a racing bump — expected > 0
   /// under churn, and the *only* acceptable failure class.
   uint64_t integrity_rejections = 0;
-  uint64_t wrong_errors = 0;     ///< Non-IntegrityError failures. Gate: 0.
+  uint64_t wrong_errors = 0;     ///< Failures outside the contract. Gate: 0.
   uint64_t view_mismatches = 0;  ///< Completed view matches no version. Gate: 0.
+
+  // Remote-transport telemetry (zeros when remote mode is off).
+  bool remote = false;
+  uint64_t rtt_ns = 0;
+  uint64_t transport_retries = 0;     ///< Typed retries across all serves.
+  uint64_t transport_reconnects = 0;  ///< Fresh connections after teardowns.
+  /// Serves that failed with a contracted retryable transport class
+  /// (kUnavailable / kDeadlineExceeded) after the ladder ran dry — only
+  /// acceptable (and only counted here) when faults were programmed.
+  uint64_t transport_rejections = 0;
+  uint64_t faults_programmed = 0;
+  uint64_t faults_fired = 0;
 
   uint64_t wall_ns = 0;  ///< Serve phase only (publishing excluded).
   double serves_per_sec = 0.0;

@@ -20,6 +20,8 @@ enum class StatusCode {
   kNotSupported,      ///< Valid input outside the supported XPath fragment.
   kResourceExhausted, ///< A simulated SOE memory limit was exceeded.
   kInternal,          ///< Invariant violation inside the library.
+  kUnavailable,       ///< Transport failure (refused/reset/disconnect); retryable.
+  kDeadlineExceeded,  ///< Per-request deadline elapsed before a response.
 };
 
 /// Human-readable name of a status code (e.g. "IntegrityError").
@@ -65,6 +67,12 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

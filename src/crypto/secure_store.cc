@@ -310,9 +310,20 @@ SoeDecryptor::SoeDecryptor(const TripleDes::Key& key, ChunkLayout layout,
   // A shared cache vouching for a different document version must never be
   // consulted: its hashes authenticate that version's ciphertext, and
   // accepting them here would undo the replay protection the version check
-  // provides. Fall back to a private cache (costs wire, never trust).
-  if (shared_cache != nullptr && shared_cache->version() == expected_version) {
-    cache_ = std::move(shared_cache);
+  // provides. The shared cache is universal now (every service serve wires
+  // one in), so a mismatched handle is a wiring bug upstream — poison the
+  // decryptor instead of silently downgrading to a private cache, which
+  // hid exactly this class of bug behind a cold-serve wire bill.
+  if (shared_cache != nullptr) {
+    if (shared_cache->version() == expected_version) {
+      cache_ = std::move(shared_cache);
+    } else {
+      config_error_ = Status::IntegrityError(
+          "shared digest cache is stamped for another document version; "
+          "refusing to let one version's hashes vouch for another's bytes");
+      cache_ = std::make_shared<VerifiedDigestCache>(
+          layout.fragments_per_chunk(), /*capacity=*/0, expected_version);
+    }
   } else {
     cache_ = std::make_shared<VerifiedDigestCache>(
         layout.fragments_per_chunk(), digest_cache_capacity,
@@ -461,6 +472,7 @@ Status SoeDecryptor::VerifyChunkAgainstMaterial(
 
 Result<std::vector<uint8_t>> SoeDecryptor::DecryptVerified(
     const RangeResponse& resp, uint64_t pos, uint64_t n) {
+  CSXA_RETURN_NOT_OK(config_error_);
   const uint32_t bs = backend_->block_size();
   const uint64_t padded_size = (plaintext_size_ + bs - 1) / bs * bs;
   if (pos < resp.data_begin ||
@@ -564,6 +576,7 @@ Result<std::vector<uint8_t>> SoeDecryptor::DecryptVerified(
 Status SoeDecryptor::DecryptVerifiedBatch(const BatchRequest& request,
                                           const BatchResponse& response,
                                           uint8_t* out, size_t out_size) {
+  CSXA_RETURN_NOT_OK(config_error_);
   const uint32_t bs = backend_->block_size();
   const uint64_t padded_size = (plaintext_size_ + bs - 1) / bs * bs;
   if (out_size < plaintext_size_) {

@@ -140,8 +140,21 @@ struct BatchResponse {
 /// visible (and rejectable) to sessions opened before it.
 class BatchSource {
  public:
+  /// Transport-side accounting a source may expose (zeros for in-process
+  /// sources, where a round trip cannot fail): attempts beyond the first
+  /// per request, connections re-established after a mid-stream failure,
+  /// and the per-request deadline in force. The fetcher snapshots these
+  /// into its own counters so cost reports price unreliability alongside
+  /// wire bytes.
+  struct TransportStats {
+    uint64_t retries = 0;
+    uint64_t reconnects = 0;
+    uint64_t deadline_ns = 0;
+  };
+
   virtual ~BatchSource() = default;
   virtual Result<BatchResponse> ReadBatch(const BatchRequest& request) const = 0;
+  virtual TransportStats transport_stats() const { return {}; }
 };
 
 /// Terminal-side store of an encrypted document: position-mixed ECB
@@ -217,9 +230,11 @@ class SoeDecryptor {
   /// `shared_cache`, when set, replaces the private per-serve cache with a
   /// cross-serve shared one (the crypto layer holds it behind this handle
   /// only): it must be stamped with `expected_version` — a mismatch would
-  /// let one version's authenticated hashes vouch for another's bytes, so
-  /// the constructor falls back to a private cache in that case
-  /// (fail-safe: wire cost, never trust).
+  /// let one version's authenticated hashes vouch for another's bytes.
+  /// Passing a mismatched handle is a hard error: every DecryptVerified*
+  /// call on the decryptor fails with a fixed IntegrityError (the old
+  /// silent fall-back to a private cache hid wiring bugs of exactly the
+  /// replay class the version stamp exists to stop).
   /// `backend` must be the cipher backend the store was built with.
   SoeDecryptor(const TripleDes::Key& key, ChunkLayout layout,
                uint64_t plaintext_size, uint64_t chunk_count,
@@ -327,6 +342,9 @@ class SoeDecryptor {
   /// Private per-serve cache, or a handle on the service's shared one —
   /// same trust chain either way (writes happen only post-verification).
   std::shared_ptr<VerifiedDigestCache> cache_;
+  /// Poison status set at construction when the shared cache handle is
+  /// stamped for another version; fails every decrypt entry point.
+  Status config_error_ = Status::OK();
   Counters counters_;
 };
 

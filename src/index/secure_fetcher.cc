@@ -19,7 +19,8 @@ SecureFetcher::SecureFetcher(const crypto::BatchSource* source,
                planner_options),
       buffer_(plaintext_size, 0),
       padded_size_(ciphertext_size),
-      fragment_valid_(planner_.fragment_count(), false) {}
+      fragment_valid_(planner_.fragment_count(), false),
+      transport_base_(source->transport_stats()) {}
 
 Status SecureFetcher::Ensure(uint64_t begin, uint64_t end) {
   end = std::min<uint64_t>(end, buffer_.size());

@@ -82,6 +82,20 @@ class SecureFetcher : public Fetcher {
   uint64_t digest_bytes_shipped() const { return digest_bytes_shipped_; }
   /// Wall clock spent in terminal round trips (the simulated wire).
   uint64_t fetch_ns() const { return fetch_ns_; }
+  /// Transport unreliability, attributed to this serve: attempts beyond
+  /// the first and connections re-established since this fetcher opened.
+  /// Deltas against the source's cumulative stats (a remote endpoint is
+  /// shared across sessions); in-process sources report zeros.
+  uint64_t retries() const {
+    return source_->transport_stats().retries - transport_base_.retries;
+  }
+  uint64_t reconnects() const {
+    return source_->transport_stats().reconnects - transport_base_.reconnects;
+  }
+  /// Per-request deadline the transport enforces (0 = none/in-process).
+  uint64_t deadline_ns() const {
+    return source_->transport_stats().deadline_ns;
+  }
   const FetchPlanner::Stats& planner_stats() const {
     return planner_.stats();
   }
@@ -103,6 +117,8 @@ class SecureFetcher : public Fetcher {
   uint64_t proof_hashes_shipped_ = 0;
   uint64_t digest_bytes_shipped_ = 0;
   uint64_t fetch_ns_ = 0;
+  /// Source transport stats at construction (delta base for this serve).
+  crypto::BatchSource::TransportStats transport_base_;
 };
 
 }  // namespace csxa::index

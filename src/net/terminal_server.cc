@@ -1,0 +1,166 @@
+#include "net/terminal_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "crypto/wire_format.h"
+
+namespace csxa::net {
+
+void TerminalServer::RegisterDocument(
+    const std::string& doc_id,
+    std::shared_ptr<const crypto::BatchSource> source) {
+  MutexLock lock(&mu_);
+  docs_[doc_id] = std::move(source);
+}
+
+std::shared_ptr<const crypto::BatchSource> TerminalServer::Find(
+    const std::string& doc_id) const {
+  MutexLock lock(&mu_);
+  auto it = docs_.find(doc_id);
+  return it == docs_.end() ? nullptr : it->second;
+}
+
+Status TerminalServer::Start() {
+  MutexLock lock(&mu_);
+  if (running_) {
+    // csxa-lint: allow(error-taxonomy) double Start is caller misuse.
+    return Status::InvalidArgument("terminal server already started");
+  }
+  uint16_t bound = 0;
+  CSXA_ASSIGN_OR_RETURN(listen_fd_, ListenTcp(options_.port, &bound));
+  port_ = bound;
+  running_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TerminalServer::Stop() {
+  std::thread accept_thread;
+  std::vector<std::thread> workers;
+  {
+    MutexLock lock(&mu_);
+    if (!running_ && !accept_thread_.joinable()) return;
+    running_ = false;
+    ShutdownFd(listen_fd_);
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    for (int fd : conn_fds_) ShutdownFd(fd);
+    accept_thread = std::move(accept_thread_);
+    workers = std::move(workers_);
+  }
+  if (accept_thread.joinable()) accept_thread.join();
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+  // Handlers close their own fds on exit; now they all have.
+  MutexLock lock(&mu_);
+  conn_fds_.clear();
+}
+
+uint16_t TerminalServer::port() const {
+  MutexLock lock(&mu_);
+  return port_;
+}
+
+uint64_t TerminalServer::requests_served() const {
+  MutexLock lock(&mu_);
+  return requests_served_;
+}
+
+void TerminalServer::AcceptLoop() {
+  while (true) {
+    int listen_fd;
+    {
+      MutexLock lock(&mu_);
+      if (!running_) return;
+      listen_fd = listen_fd_;
+    }
+    Result<int> conn = AcceptConn(listen_fd);
+    if (!conn.ok()) return;  // Listener shut down.
+    MutexLock lock(&mu_);
+    if (!running_) {
+      CloseFd(conn.value());
+      return;
+    }
+    const int fd = conn.value();
+    conn_fds_.push_back(fd);
+    workers_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void TerminalServer::ServeConnection(int fd) {
+  std::shared_ptr<const crypto::BatchSource> bound;
+  std::vector<uint8_t> frame;
+  while (true) {
+    Result<Record> rec = ReadRecord(fd);
+    if (!rec.ok()) break;  // EOF/reset/desync: the peer retries elsewhere.
+    Record& record = rec.value();
+    Status reply_error = Status::OK();
+    frame.clear();
+    switch (record.kind) {
+      case RecordKind::kBind: {
+        std::string doc_id(record.payload.begin(), record.payload.end());
+        bound = Find(doc_id);
+        if (bound == nullptr) {
+          // csxa-lint: allow(error-taxonomy) unknown id is client misuse.
+          reply_error = Status::InvalidArgument(
+              "terminal holds no document under this id");
+        }
+        break;
+      }
+      case RecordKind::kBatchRequest: {
+        if (bound == nullptr) {
+          // csxa-lint: allow(error-taxonomy) request before bind.
+          reply_error = Status::InvalidArgument(
+              "batch request on a connection not bound to a document");
+          break;
+        }
+        Result<crypto::BatchRequest> request = crypto::DecodeBatchRequest(
+            record.payload.data(), record.payload.size());
+        if (!request.ok()) {
+          reply_error = request.status();
+          break;
+        }
+        Result<crypto::BatchResponse> response =
+            bound->ReadBatch(request.value());
+        if (!response.ok()) {
+          reply_error = response.status();
+          break;
+        }
+        crypto::EncodeBatchResponse(response.value(), &frame);
+        MutexLock lock(&mu_);
+        ++requests_served_;
+        break;
+      }
+      default:
+        // A client must not send server-role records; the stream is
+        // suspect, drop the connection.
+        reply_error = Status::Unavailable(
+            "unexpected record kind from client");
+        break;
+    }
+    Status write_status;
+    if (!reply_error.ok()) {
+      std::vector<uint8_t> payload = EncodeErrorPayload(reply_error);
+      write_status = WriteRecord(fd, RecordKind::kError, record.id,
+                                 payload.data(), payload.size());
+    } else if (record.kind == RecordKind::kBind) {
+      write_status =
+          WriteRecord(fd, RecordKind::kBindAck, record.id, nullptr, 0);
+    } else {
+      write_status = WriteRecord(fd, RecordKind::kBatchResponse, record.id,
+                                 frame.data(), frame.size());
+    }
+    if (!write_status.ok()) break;
+  }
+  // Deregister before closing: the fd number may be recycled by the OS
+  // the instant it closes, and Stop() must never shut down a stranger.
+  {
+    MutexLock lock(&mu_);
+    conn_fds_.erase(std::find(conn_fds_.begin(), conn_fds_.end(), fd));
+  }
+  CloseFd(fd);
+}
+
+}  // namespace csxa::net

@@ -1,0 +1,85 @@
+#ifndef CSXA_NET_TERMINAL_SERVER_H_
+#define CSXA_NET_TERMINAL_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "crypto/secure_store.h"
+#include "net/transport.h"
+
+namespace csxa::net {
+
+/// The untrusted terminal as a real process boundary: a TCP server that
+/// exposes registered crypto::BatchSources (immutable stores, or a
+/// DocumentService's live document entries) over the record-framed batch
+/// protocol. One listening socket, one handler thread per connection; a
+/// connection binds to a document id first (kBind) and then answers
+/// kBatchRequest records in arrival order — pipelining depth comes from
+/// the client keeping several requests in flight, and from many
+/// connections.
+///
+/// The server holds no keys and performs no verification (the terminal
+/// cannot: that is the paper's premise). Its error records are claims by
+/// an untrusted party; the client-side transport downgrades all but the
+/// contracted classes to retryable kUnavailable.
+class TerminalServer {
+ public:
+  struct Options {
+    /// 0 binds an ephemeral loopback port (see port() after Start()).
+    uint16_t port = 0;
+  };
+
+  TerminalServer() = default;
+  explicit TerminalServer(Options options) : options_(options) {}
+  ~TerminalServer() { Stop(); }
+  TerminalServer(const TerminalServer&) = delete;
+  TerminalServer& operator=(const TerminalServer&) = delete;
+
+  /// Registers (or replaces) the source serving `doc_id`. The shared_ptr
+  /// keeps the source alive across in-flight requests; a server-layer
+  /// DocumentEntry registered here makes version bumps visible mid-serve
+  /// exactly as in-process serves see them.
+  void RegisterDocument(const std::string& doc_id,
+                        std::shared_ptr<const crypto::BatchSource> source)
+      CSXA_EXCLUDES(mu_);
+
+  /// Binds, listens and starts the accept loop.
+  Status Start() CSXA_EXCLUDES(mu_);
+
+  /// Wakes and joins every connection; idempotent.
+  void Stop() CSXA_EXCLUDES(mu_);
+
+  /// The bound port (valid after Start()).
+  uint16_t port() const CSXA_EXCLUDES(mu_);
+
+  /// Cumulative batch requests answered (any document, any connection).
+  uint64_t requests_served() const CSXA_EXCLUDES(mu_);
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  std::shared_ptr<const crypto::BatchSource> Find(const std::string& doc_id)
+      const CSXA_EXCLUDES(mu_);
+
+  Options options_;
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<const crypto::BatchSource>> docs_
+      CSXA_GUARDED_BY(mu_);
+  int listen_fd_ CSXA_GUARDED_BY(mu_) = -1;
+  uint16_t port_ CSXA_GUARDED_BY(mu_) = 0;
+  bool running_ CSXA_GUARDED_BY(mu_) = false;
+  std::vector<int> conn_fds_ CSXA_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_ CSXA_GUARDED_BY(mu_);
+  std::thread accept_thread_ CSXA_GUARDED_BY(mu_);
+  uint64_t requests_served_ CSXA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace csxa::net
+
+#endif  // CSXA_NET_TERMINAL_SERVER_H_

@@ -78,6 +78,9 @@ Result<ServeReport> DrainServeStream(ServeStream* stream,
   report.gap_fragments_bridged =
       stream->fetcher().planner_stats().gap_fragments_bridged;
   report.fetch_ns = stream->fetcher().fetch_ns();
+  report.retries = stream->fetcher().retries();
+  report.reconnects = stream->fetcher().reconnects();
+  report.deadline_ns = stream->fetcher().deadline_ns();
   report.soe = stream->soe();
   report.digest_cache = stream->cache_stats();
   report.backend = stream->backend_name();

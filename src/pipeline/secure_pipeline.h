@@ -61,6 +61,13 @@ struct ServeOptions {
   /// re-reads from the first request. Must be stamped with the serve's
   /// document version (see SoeDecryptor); null keeps a private cache.
   std::shared_ptr<crypto::VerifiedDigestCache> shared_digest_cache;
+  /// Out-of-process terminal: when set, the serve fetches through this
+  /// endpoint (e.g. a net::RemoteBatchSource speaking the wire framing
+  /// over TCP) instead of the in-process source the session would
+  /// otherwise use. The stream keeps the handle alive for its lifetime.
+  /// Trust is unchanged — geometry/key/version still arrive out of band,
+  /// and every byte this source returns passes the digest chain.
+  std::shared_ptr<const crypto::BatchSource> terminal_source;
 };
 
 /// Cost-model counters of one serve (the quantities of the paper's
@@ -79,6 +86,9 @@ struct ServeReport {
   uint64_t digest_bytes_shipped = 0;     ///< Encrypted ChunkDigest bytes.
   uint64_t gap_fragments_bridged = 0;    ///< Unneeded fragments coalesced in.
   uint64_t fetch_ns = 0;                 ///< Wall clock in terminal reads.
+  uint64_t retries = 0;                  ///< Transport attempts beyond the 1st.
+  uint64_t reconnects = 0;               ///< Connections re-established.
+  uint64_t deadline_ns = 0;              ///< Per-request deadline in force.
   crypto::SoeDecryptor::Counters soe;    ///< Decrypt/hash work in the SOE.
   crypto::VerifiedDigestCache::Stats digest_cache;  ///< Bare-read economics.
 
@@ -147,12 +157,17 @@ class ServeStream {
               uint64_t ciphertext_size, uint64_t chunk_count,
               const crypto::TripleDes::Key& key, uint32_t version,
               const ServeOptions& options, crypto::CipherBackendKind backend)
-      : soe_(key, layout, plaintext_size, chunk_count, version,
+      : owned_source_(options.terminal_source),
+        soe_(key, layout, plaintext_size, chunk_count, version,
              options.digest_cache_capacity, options.shared_digest_cache,
              backend),
-        fetcher_(source, layout, plaintext_size, ciphertext_size, &soe_,
+        fetcher_(owned_source_ != nullptr ? owned_source_.get() : source,
+                 layout, plaintext_size, ciphertext_size, &soe_,
                  options.planner) {}
 
+  /// Keep-alive for ServeOptions::terminal_source (remote endpoints are
+  /// shared across sessions; the in-process `source` is caller-owned).
+  std::shared_ptr<const crypto::BatchSource> owned_source_;
   crypto::SoeDecryptor soe_;
   index::SecureFetcher fetcher_;
   std::unique_ptr<index::DocumentNavigator> nav_;

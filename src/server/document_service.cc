@@ -83,7 +83,8 @@ Status DocumentService::Publish(const std::string& doc_id,
   auto entry = std::make_shared<internal::DocumentEntry>();
   entry->Swap(std::move(state));
   MutexLock lock(&mu_);
-  if (!docs_.emplace(doc_id, Published{cfg, std::move(entry)}).second) {
+  if (!docs_.emplace(doc_id, Published{cfg, std::move(entry), nullptr})
+           .second) {
     return Status::InvalidArgument("document already published: " + doc_id);
   }
   return Status::OK();
@@ -125,7 +126,17 @@ Result<std::shared_ptr<internal::DocumentEntry>> DocumentService::FindEntry(
 Result<std::unique_ptr<SecureSession>> DocumentService::OpenSession(
     const std::string& doc_id, const std::vector<access::AccessRule>& rules,
     const pipeline::ServeOptions& options) const {
-  CSXA_ASSIGN_OR_RETURN(auto entry, FindEntry(doc_id));
+  std::shared_ptr<internal::DocumentEntry> entry;
+  std::shared_ptr<const crypto::BatchSource> transport;
+  {
+    MutexLock lock(&mu_);
+    auto it = docs_.find(doc_id);
+    if (it == docs_.end()) {
+      return Status::InvalidArgument("document not published: " + doc_id);
+    }
+    entry = it->second.entry;
+    transport = it->second.transport;
+  }
   // Snapshot the version the session is opened for: geometry, expected
   // version and shared cache come from it, while actual batch reads go
   // through the entry (the *current* store) — a bump between here and the
@@ -133,6 +144,9 @@ Result<std::unique_ptr<SecureSession>> DocumentService::OpenSession(
   std::shared_ptr<const internal::DocumentState> state = entry->Current();
   pipeline::ServeOptions wired = options;
   wired.shared_digest_cache = state->cache;
+  if (transport != nullptr && wired.terminal_source == nullptr) {
+    wired.terminal_source = std::move(transport);
+  }
   CSXA_ASSIGN_OR_RETURN(
       auto stream,
       pipeline::ServeStream::Open(
@@ -161,6 +175,24 @@ Result<crypto::VerifiedDigestCache::Stats> DocumentService::CacheStats(
     const std::string& doc_id) const {
   CSXA_ASSIGN_OR_RETURN(auto entry, FindEntry(doc_id));
   return entry->Current()->cache->stats();
+}
+
+Result<std::shared_ptr<const crypto::BatchSource>>
+DocumentService::TerminalLink(const std::string& doc_id) const {
+  CSXA_ASSIGN_OR_RETURN(auto entry, FindEntry(doc_id));
+  return std::shared_ptr<const crypto::BatchSource>(std::move(entry));
+}
+
+Status DocumentService::AttachTransport(
+    const std::string& doc_id,
+    std::shared_ptr<const crypto::BatchSource> source) {
+  MutexLock lock(&mu_);
+  auto it = docs_.find(doc_id);
+  if (it == docs_.end()) {
+    return Status::InvalidArgument("document not published: " + doc_id);
+  }
+  it->second.transport = std::move(source);
+  return Status::OK();
 }
 
 }  // namespace csxa::server

@@ -181,6 +181,25 @@ class DocumentService {
   Result<crypto::VerifiedDigestCache::Stats> CacheStats(
       const std::string& doc_id) const;
 
+  /// Terminal side: the live batch link of `doc_id` — the object a
+  /// net::TerminalServer registers so a remote SOE reads the *current*
+  /// store (version bumps included) over the wire exactly as an
+  /// in-process session does. Holds ciphertext and digests only; keys,
+  /// geometry and the expected version never cross this boundary.
+  Result<std::shared_ptr<const crypto::BatchSource>> TerminalLink(
+      const std::string& doc_id) const;
+
+  /// SOE side: routes every *future* session's batch reads for `doc_id`
+  /// through `source` (e.g. a net::RemoteBatchSource dialing a remote
+  /// terminal) instead of the in-process entry; nullptr detaches. Already-
+  /// open sessions keep the source they were opened with. Geometry, key,
+  /// expected version and the shared digest cache still come from the
+  /// local version snapshot, so bytes fetched through `source` re-verify
+  /// against locally trusted digests — the transport can delay a serve,
+  /// never alter what it will accept.
+  Status AttachTransport(const std::string& doc_id,
+                         std::shared_ptr<const crypto::BatchSource> source);
+
  private:
   static Result<std::shared_ptr<const internal::DocumentState>> BuildState(
       const std::string& xml, const DocumentConfig& cfg, uint32_t version);
@@ -191,6 +210,8 @@ class DocumentService {
   struct Published {
     DocumentConfig cfg;
     std::shared_ptr<internal::DocumentEntry> entry;
+    /// Session-side transport override (AttachTransport); null = in-process.
+    std::shared_ptr<const crypto::BatchSource> transport;
   };
   std::map<std::string, Published> docs_ CSXA_GUARDED_BY(mu_);
 };

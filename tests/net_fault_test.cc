@@ -1,0 +1,297 @@
+// Transport robustness matrix: every injectable fault, against both
+// cipher backends, against cold and warm shared-digest caches, must end
+// in exactly one of two contracted outcomes — a byte-identical authorized
+// view after typed retries, or a clean error of a contracted class
+// (kUnavailable / kDeadlineExceeded / kIntegrityError). Never a mismatched
+// view, never a partial view, never a raw errno class. The fault proxy is
+// seeded/programmed, so any failure here replays deterministically.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "access/access_rule.h"
+#include "access/rule_evaluator.h"
+#include "net/fault_proxy.h"
+#include "net/remote_source.h"
+#include "net/terminal_server.h"
+#include "server/document_service.h"
+#include "testing.h"
+#include "xml/sax_parser.h"
+#include "xml/serializer.h"
+
+namespace {
+
+using namespace csxa;  // NOLINT
+
+crypto::TripleDes::Key TestKey() {
+  crypto::TripleDes::Key key{};
+  for (size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<uint8_t>(0x51 ^ (i * 29));
+  }
+  return key;
+}
+
+std::string Payload(const char* stem, int i, size_t n) {
+  std::string s = std::string(stem) + "-" + std::to_string(i) + "-";
+  while (s.size() < n) s += "transportum";
+  s.resize(n);
+  return s;
+}
+
+std::string TestDocument(int folders) {
+  std::string xml = "<Hospital>";
+  for (int f = 0; f < folders; ++f) {
+    xml += "<Folder><Admin><Insurance>" + Payload("adm", f, 160) +
+           "</Insurance></Admin><MedActs>";
+    for (int c = 0; c < 3; ++c) {
+      xml += "<Consult><Diagnostic>" + Payload("dx", f * 10 + c, 56) +
+             "</Diagnostic><Prescription>rx-" + std::to_string(f * 10 + c) +
+             "</Prescription></Consult>";
+    }
+    xml += "</MedActs><Clearance>" + std::string(f % 2 ? "closed" : "open") +
+           "</Clearance></Folder>";
+  }
+  xml += "</Hospital>";
+  return xml;
+}
+
+std::string DirectView(const std::string& xml,
+                       const std::vector<access::AccessRule>& rules) {
+  xml::SerializingHandler ser;
+  access::RuleEvaluator eval(rules, &ser);
+  CHECK_OK(xml::SaxParser::Parse(xml, &eval));
+  CHECK_OK(eval.Finish());
+  return ser.output();
+}
+
+server::DocumentConfig TestConfig(crypto::CipherBackendKind backend) {
+  server::DocumentConfig cfg;
+  cfg.layout.chunk_size = 256;
+  cfg.layout.fragment_size = 32;
+  cfg.key = TestKey();
+  cfg.backend = backend;
+  return cfg;
+}
+
+net::RemoteBatchSource::Options RemoteOptions(uint16_t port) {
+  net::RemoteBatchSource::Options opts;
+  opts.port = port;
+  opts.doc_id = "doc";
+  opts.deadline_ns = 250'000'000;  // Trips well inside one test run.
+  opts.max_attempts = 4;
+  opts.backoff_initial_ns = 1'000'000;
+  opts.backoff_max_ns = 8'000'000;
+  return opts;
+}
+
+struct FaultCase {
+  net::FaultProxy::Fault fault;
+  const char* name;
+  uint64_t arg;
+  /// true: the serve must succeed byte-identically after typed retries;
+  /// false: the serve must fail with a terminal IntegrityError.
+  bool survivable;
+};
+
+const FaultCase kFaultCases[] = {
+    // Survivable weather: the client's deadline or reconnect machinery
+    // turns each into retries ending in a byte-identical view.
+    {net::FaultProxy::Fault::kDropAfterBytes, "drop_after_bytes", 13, true},
+    {net::FaultProxy::Fault::kStall, "stall", 700'000'000, true},
+    {net::FaultProxy::Fault::kCloseMidResponse, "close_mid_response", 0, true},
+    {net::FaultProxy::Fault::kDuplicateResponse, "duplicate_response", 0,
+     true},
+    // Tampering: a response that arrives but no longer decodes is
+    // indistinguishable from an attack — terminal, never retried.
+    {net::FaultProxy::Fault::kTruncateFrame, "truncate_frame", 0, false},
+    {net::FaultProxy::Fault::kCorruptByte, "corrupt_byte", 9, false},
+};
+
+/// Runs one (fault, backend, temperature) cell. `warm` first drains a
+/// clean remote serve through a fault-free path so the shared digest
+/// cache holds every chunk before the faulted serve runs.
+void RunFaultCell(const FaultCase& fc, crypto::CipherBackendKind backend,
+                  bool warm) {
+  const std::string xml = TestDocument(/*folders=*/4);
+  auto rules = access::ParseRuleList("+ //Prescription\n").take();
+  const std::string expected = DirectView(xml, rules);
+
+  server::DocumentService service;
+  CHECK_OK(service.Publish("doc", xml, TestConfig(backend)));
+  net::TerminalServer server;
+  auto link = service.TerminalLink("doc");
+  CHECK_OK(link.status());
+  if (!link.ok()) return;
+  server.RegisterDocument("doc", link.take());
+  CHECK_OK(server.Start());
+
+  if (warm) {
+    // Warm the shared cache over a clean remote path first.
+    auto direct = std::make_shared<net::RemoteBatchSource>(
+        RemoteOptions(server.port()));
+    CHECK_OK(service.AttachTransport("doc", direct));
+    auto primed = service.Serve("doc", rules, pipeline::ServeOptions{});
+    CHECK_OK(primed.status());
+    if (primed.ok()) CHECK_EQ(primed.value().view, expected);
+    CHECK_OK(service.AttachTransport("doc", nullptr));
+  }
+
+  net::FaultProxy::Options proxy_opts;
+  proxy_opts.upstream_port = server.port();
+  // Response 0 is the bind ack; 1 is the first real batch response.
+  proxy_opts.program = {{fc.fault, /*response_index=*/1, fc.arg}};
+  net::FaultProxy proxy(proxy_opts);
+  CHECK_OK(proxy.Start());
+  auto remote =
+      std::make_shared<net::RemoteBatchSource>(RemoteOptions(proxy.port()));
+  CHECK_OK(service.AttachTransport("doc", remote));
+
+  auto report = service.Serve("doc", rules, pipeline::ServeOptions{});
+  const std::string cell = std::string(fc.name) + "/" +
+                           crypto::CipherBackendKindName(backend) +
+                           (warm ? "/warm" : "/cold");
+  if (fc.survivable) {
+    if (!report.ok()) {
+      csxa::testing::Fail(__FILE__, __LINE__,
+                          cell + " should survive, got " +
+                              report.status().ToString());
+    } else {
+      CHECK_EQ(report.value().view, expected);
+      if (fc.fault != net::FaultProxy::Fault::kDuplicateResponse) {
+        // The fault really fired and really cost a typed retry or a
+        // reconnect — it did not pass unnoticed.
+        CHECK(report.value().retries > 0 || report.value().reconnects > 0);
+      }
+    }
+  } else {
+    if (report.ok()) {
+      // Tampering must not produce a view — but if it does, it must at
+      // the very least be the correct one (a retry that re-verified).
+      csxa::testing::Fail(__FILE__, __LINE__,
+                          cell + " should fail terminally, got a view");
+    } else {
+      CHECK_EQ(static_cast<int>(report.status().code()),
+               static_cast<int>(StatusCode::kIntegrityError));
+    }
+  }
+  CHECK_EQ(proxy.faults_fired(), uint64_t{1});
+
+  // The faulted serve — success or terminal failure — must leave no
+  // poisoned shared state behind: a clean follow-up serve over a fresh
+  // fault-free link still produces the exact view.
+  CHECK_OK(service.AttachTransport(
+      "doc",
+      std::make_shared<net::RemoteBatchSource>(RemoteOptions(server.port()))));
+  auto after = service.Serve("doc", rules, pipeline::ServeOptions{});
+  CHECK_OK(after.status());
+  if (after.ok()) CHECK_EQ(after.value().view, expected);
+
+  proxy.Stop();
+  server.Stop();
+}
+
+TEST(FaultMatrixEveryFaultBackendTemperature) {
+  for (const FaultCase& fc : kFaultCases) {
+    for (crypto::CipherBackendKind backend :
+         {crypto::CipherBackendKind::k3Des, crypto::CipherBackendKind::kAes}) {
+      for (bool warm : {false, true}) {
+        RunFaultCell(fc, backend, warm);
+      }
+    }
+  }
+}
+
+TEST(ConnectRefusedIsTypedAndBounded) {
+  // Nothing listens on the port the (stopped) server vacated: every
+  // attempt is refused, the ladder runs out, and the serve fails closed
+  // with the retryable class — not a crash, not a raw errno surface.
+  net::TerminalServer server;
+  CHECK_OK(server.Start());
+  const uint16_t vacated = server.port();
+  server.Stop();
+
+  net::RemoteBatchSource::Options opts = RemoteOptions(vacated);
+  opts.max_attempts = 3;
+  net::RemoteBatchSource source(opts);
+  crypto::BatchRequest request;
+  request.runs.push_back({0, 32});
+  auto response = source.ReadBatch(request);
+  CHECK(!response.ok());
+  if (!response.ok()) {
+    CHECK_EQ(static_cast<int>(response.status().code()),
+             static_cast<int>(StatusCode::kUnavailable));
+    // The message is ours, not strerror()'s.
+    CHECK(response.status().message().find("errno") == std::string::npos);
+  }
+  CHECK_EQ(source.transport_stats().retries, uint64_t{2});
+}
+
+TEST(UnknownDocumentFailsWithoutRetry) {
+  net::TerminalServer server;
+  CHECK_OK(server.Start());
+  net::RemoteBatchSource::Options opts = RemoteOptions(server.port());
+  opts.doc_id = "nonexistent";
+  net::RemoteBatchSource source(opts);
+  crypto::BatchRequest request;
+  request.runs.push_back({0, 32});
+  auto response = source.ReadBatch(request);
+  CHECK(!response.ok());
+  if (!response.ok()) {
+    // The server's InvalidArgument relays as itself and is not retried.
+    CHECK_EQ(static_cast<int>(response.status().code()),
+             static_cast<int>(StatusCode::kInvalidArgument));
+  }
+  CHECK_EQ(source.transport_stats().retries, uint64_t{0});
+  server.Stop();
+}
+
+TEST(SeededProgramIsDeterministic) {
+  auto a = net::FaultProxy::SeededProgram(/*seed=*/7, /*count=*/16,
+                                          /*horizon=*/64);
+  auto b = net::FaultProxy::SeededProgram(7, 16, 64);
+  CHECK_EQ(a.size(), size_t{16});
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    CHECK(a[i].fault == b[i].fault);
+    CHECK_EQ(a[i].response_index, b[i].response_index);
+    CHECK_EQ(a[i].arg, b[i].arg);
+  }
+  auto c = net::FaultProxy::SeededProgram(8, 16, 64);
+  bool differs = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].fault != c[i].fault || a[i].response_index != c[i].response_index)
+      differs = true;
+  }
+  CHECK(differs);
+}
+
+TEST(StaleSessionFailsClosedOverTheWire) {
+  // The replay-protection contract survives the process boundary: a
+  // session opened before a version bump, reading through TCP, still
+  // fails with the same IntegrityError class as in-process.
+  const std::string xml = TestDocument(/*folders=*/4);
+  auto rules = access::ParseRuleList("+ //Prescription\n").take();
+  server::DocumentService service;
+  CHECK_OK(
+      service.Publish("doc", xml, TestConfig(crypto::CipherBackendKind::k3Des)));
+  net::TerminalServer server;
+  server.RegisterDocument("doc", service.TerminalLink("doc").take());
+  CHECK_OK(server.Start());
+  CHECK_OK(service.AttachTransport(
+      "doc",
+      std::make_shared<net::RemoteBatchSource>(RemoteOptions(server.port()))));
+
+  auto session = service.OpenSession("doc", rules, pipeline::ServeOptions{});
+  CHECK_OK(session.status());
+  if (!session.ok()) return;
+  CHECK_OK(service.Update("doc", TestDocument(/*folders=*/5)));
+  auto stale = session.value()->Drain();
+  CHECK(!stale.ok());
+  if (!stale.ok()) {
+    CHECK_EQ(static_cast<int>(stale.status().code()),
+             static_cast<int>(StatusCode::kIntegrityError));
+  }
+  server.Stop();
+}
+
+}  // namespace

@@ -192,6 +192,75 @@ def main():
             if name not in perf:
                 rc |= fail(f"backends: no {name} closed_world NC serve")
 
+    # Latency sweep (PR 9): the paper's architecture claim priced across a
+    # slow link — at every injected RTT point, TCSBR with skip navigation
+    # must beat the stream-all (NC) baseline on wire bytes AND wall clock.
+    # The win booleans are within-run comparisons on the same machine and
+    # the same paced proxy, so they are gated hard; absolute wall-clock
+    # values are machine-dependent and never compared across runs. Skip
+    # wire bytes are deterministic and gated against baseline.
+    if "latency_sweep" not in fresh:
+        rc |= fail("latency_sweep section missing from fresh run")
+    else:
+        points = {p["rtt_ms"]: p for p in fresh["latency_sweep"]["points"]}
+        for rtt in (0, 1, 10):
+            if rtt not in points:
+                rc |= fail(f"latency_sweep: {rtt} ms RTT point missing")
+                continue
+            point = points[rtt]
+            if not point.get("skip_wins_wire", False):
+                rc |= fail(
+                    f"latency_sweep/{rtt}ms: skip did not beat stream-all "
+                    f"on wire bytes")
+            if not point.get("skip_wins_wall_clock", False):
+                rc |= fail(
+                    f"latency_sweep/{rtt}ms: skip did not beat stream-all "
+                    f"on wall clock")
+            if "latency_sweep" in baseline:
+                base_points = {p["rtt_ms"]: p
+                               for p in baseline["latency_sweep"]["points"]}
+                ref = base_points.get(rtt)
+                cur = point["tcsbr_skip"]["wire_bytes"]
+                if ref is not None:
+                    ref_wire = ref["tcsbr_skip"]["wire_bytes"]
+                    if cur > ref_wire * (1 + tolerance):
+                        rc |= fail(
+                            f"latency_sweep/{rtt}ms: skip wire_bytes {cur} "
+                            f"> baseline {ref_wire} (+{tolerance:.0%})")
+
+    # Fault matrix (PR 9): the transport contract, cell by cell. Every
+    # injected fault class x cipher backend x cache temperature must have
+    # resolved to a typed retry-success or a clean terminal IntegrityError
+    # — zero divergent views, zero uncontracted error classes. Retry and
+    # reconnect counts are scheduling-dependent and never gated.
+    if "fault_matrix" not in fresh:
+        rc |= fail("fault_matrix section missing from fresh run")
+    else:
+        matrix = fresh["fault_matrix"]
+        if matrix.get("view_mismatches", 1) != 0:
+            rc |= fail(
+                f'fault_matrix: {matrix["view_mismatches"]} view mismatches')
+        if matrix.get("contract_violations", 1) != 0:
+            rc |= fail(
+                f'fault_matrix: {matrix["contract_violations"]} outcomes '
+                f'outside the transport contract')
+        cells = matrix.get("cells", [])
+        seen = {(c["fault"], c["backend"], c["cache"]) for c in cells}
+        for fault in ("drop_after_bytes", "stall", "close_mid_response",
+                      "duplicate_response", "truncate_frame", "corrupt_byte"):
+            for backend in ("3des", "aes"):
+                for cache in ("cold", "warm"):
+                    if (fault, backend, cache) not in seen:
+                        rc |= fail(
+                            f"fault_matrix: cell {fault}/{backend}/{cache} "
+                            f"missing")
+        for cell in cells:
+            if cell["outcome"] not in ("retried_success", "integrity_error"):
+                rc |= fail(
+                    f'fault_matrix/{cell["fault"]}/{cell["backend"]}/'
+                    f'{cell["cache"]}: outcome {cell["outcome"]} outside '
+                    f'the contract')
+
     if not fresh.get("checks_passed", False):
         rc |= fail("bench-internal checks failed")
     if rc == 0:

@@ -7,9 +7,10 @@ time instead of rediscovered as runtime flakes:
 
   error-taxonomy
       In the attacker-input modules (src/crypto wire/verification code,
-      src/server), Status failure constructors are restricted to a
-      per-module allowlist, and functions on the verification path
-      (Decode*/Verify*/DecryptVerified*) may fail ONLY as IntegrityError.
+      src/server, src/net transport), Status failure constructors are
+      restricted to a per-module allowlist, and functions on the
+      verification path (Decode*/Verify*/DecryptVerified*) may fail ONLY
+      as IntegrityError.
       This is the PR 7 bug class: a stale-session race misclassified as
       InvalidArgument slipped through every attack test that only checked
       "some error happened".
@@ -57,6 +58,7 @@ import sys
 FAILURE_CONSTRUCTORS = {
     "InvalidArgument", "ParseError", "OutOfRange", "IntegrityError",
     "Corruption", "NotSupported", "ResourceExhausted", "Internal",
+    "Unavailable", "DeadlineExceeded",
 }
 
 # Per-module allowlists of Status failure constructors, first match wins
@@ -82,6 +84,14 @@ TAXONOMY_POLICY = [
     ("src/crypto/merkle.cc", {"InvalidArgument", "Corruption"}),
     # Backend registry: unknown backend names are caller errors.
     ("src/crypto/cipher_backend.cc", {"InvalidArgument"}),
+    # Transport layer: the two retryable classes RemoteBatchSource's
+    # retry loop is contracted on (Unavailable, DeadlineExceeded) plus
+    # the terminal classes the error relay forwards verbatim
+    # (IntegrityError, InvalidArgument). Anything else escaping a socket
+    # would be uncontracted for every retry policy built on this layer.
+    ("src/net/",
+     {"Unavailable", "DeadlineExceeded", "IntegrityError",
+      "InvalidArgument"}),
     # Default for the rest of src/crypto and all of src/server: the
     # integrity class plus caller errors; anything else (Corruption,
     # Internal, ...) is a policy change.
@@ -96,7 +106,7 @@ STRICT_FUNCTION_RE = re.compile(r"^(Decode|Verify|DecryptVerified)")
 STRICT_ALLOWED = {"IntegrityError"}
 
 # Directories scanned per check (relative to root).
-TAXONOMY_DIRS = ("src/crypto", "src/server")
+TAXONOMY_DIRS = ("src/crypto", "src/server", "src/net")
 MESSAGE_DIRS = ("src",)
 MEMCPY_DIRS = ("src", "tools")
 MUTEX_DIRS = ("src", "tools")
@@ -614,6 +624,8 @@ EXPECTED_FIXTURE_FINDINGS = {
     ("src/server/document_service.cc", 15, "naked-mutex"),
     ("src/server/document_service.cc", 16, "naked-mutex"),
     ("src/server/document_service.cc", 22, "unguarded-memcpy"),
+    ("src/net/transport.cc", 10, "error-taxonomy"),
+    ("src/net/transport.cc", 15, "error-taxonomy"),
 }
 
 

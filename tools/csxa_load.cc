@@ -10,9 +10,12 @@
 //   csxa_load --families all --bytes 16777216 --threads 16 --serves 8
 //   csxa_load --smoke                 # CI preset: small and quick
 //   csxa_load --soak                  # manual gigabyte-scale preset (AES)
+//   csxa_load --remote --rtt 1 --faults 12 --smoke   # TCP + seeded faults
 //
 // Exit status is nonzero when any completed view mismatched, any failure
-// was not a clean IntegrityError, or no serve completed at all.
+// was outside the contract (clean IntegrityError always; plus the typed
+// retryable transport classes when --faults programs weather), or no
+// serve completed at all.
 
 #include <cstdio>
 #include <cstdlib>
@@ -46,6 +49,13 @@ void Usage() {
                "  --backend B      cipher backend: 3des (default), aes,"
                " aes-portable\n"
                "  --out FILE       also write the report JSON to FILE\n"
+               "  --remote         serve over TCP: in-process terminal server"
+               " + RemoteBatchSource\n"
+               "  --rtt MS         injected round-trip time in ms (implies a"
+               " pacing proxy)\n"
+               "  --faults N       program N seeded fault events into the"
+               " proxy (implies --remote)\n"
+               "  --fault-seed N   fault program seed (default 42)\n"
                "  --smoke          CI preset: paper families, 1 MB, 8 threads,"
                " 2 serves/thread, 2 bumps\n"
                "  --soak           manual gigabyte-scale preset: all families,"
@@ -157,6 +167,16 @@ int main(int argc, char** argv) {
       config.shared_cache_capacity = std::strtoull(v, nullptr, 10);
     } else if (arg == "--out" && (v = next())) {
       out_path = v;
+    } else if (arg == "--remote") {
+      config.remote = true;
+    } else if (arg == "--rtt" && (v = next())) {
+      config.remote = true;
+      config.rtt_ns = std::strtoull(v, nullptr, 10) * 1'000'000ULL;
+    } else if (arg == "--faults" && (v = next())) {
+      config.remote = true;
+      config.fault_count = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--fault-seed" && (v = next())) {
+      config.fault_seed = std::strtoull(v, nullptr, 10);
     } else {
       Usage();
       return 2;
@@ -205,5 +225,16 @@ int main(int argc, char** argv) {
                report.serves_per_sec, report.p99_ns / 1e6,
                report.cache_hit_rate, report.backend.c_str(),
                report.backend_hardware ? "+hw" : "", report.serve_mb_s);
+  if (report.remote) {
+    std::fprintf(
+        stderr,
+        "csxa_load: remote: %llu retries, %llu reconnects, %llu transport"
+        " rejections, %llu/%llu faults fired\n",
+        static_cast<unsigned long long>(report.transport_retries),
+        static_cast<unsigned long long>(report.transport_reconnects),
+        static_cast<unsigned long long>(report.transport_rejections),
+        static_cast<unsigned long long>(report.faults_fired),
+        static_cast<unsigned long long>(report.faults_programmed));
+  }
   return 0;
 }

@@ -18,6 +18,8 @@ class Status {
   static Status NotSupported(std::string) { return Status(); }
   static Status ResourceExhausted(std::string) { return Status(); }
   static Status Internal(std::string) { return Status(); }
+  static Status Unavailable(std::string) { return Status(); }
+  static Status DeadlineExceeded(std::string) { return Status(); }
 };
 }  // namespace csxa
 

@@ -1,0 +1,27 @@
+// Fixture: transport-layer violations — a failure class outside the
+// src/net allowlist (Internal), and a Decode* verification-path function
+// failing with the retryable class instead of IntegrityError.
+#include "common/status.h"
+
+namespace csxa::net {
+
+Status Reconnect(int attempt) {
+  if (attempt > 4) {
+    return Status::Internal("fixture: reconnect gave up");
+  }
+  return Status::Unavailable("fixture: peer closed; retrying");
+}
+csxa::Status DecodeRecord(int n) {
+  if (n == 0) return Status::Unavailable("fixture: short record");
+  return Status::OK();
+}
+
+// The contracted classes are clean, and a waived out-of-list class with a
+// justification produces no finding.
+Status Slow() { return Status::DeadlineExceeded("fixture: slow peer"); }
+Status Teardown() {
+  // csxa-lint: allow(error-taxonomy) orderly-shutdown path, never relayed
+  return Status::Corruption("fixture: torn down mid-write");
+}
+
+}  // namespace csxa::net
