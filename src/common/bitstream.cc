@@ -1,5 +1,7 @@
 #include "common/bitstream.h"
 
+#include "common/bytes.h"
+
 namespace csxa {
 
 int BitsFor(uint64_t n) {
@@ -71,7 +73,7 @@ Status BitReader::ReadAlignedBytes(size_t n, std::string* out) {
   if (pos_ + n * 8 > size_bits_) {
     return Status::OutOfRange("BitReader: aligned read past end of stream");
   }
-  out->assign(reinterpret_cast<const char*>(data_ + (pos_ >> 3)), n);
+  *out = std::string(common::AsChars(data_ + (pos_ >> 3), n));
   pos_ += n * 8;
   return Status::OK();
 }

@@ -1,0 +1,29 @@
+#ifndef CSXA_COMMON_BYTES_H_
+#define CSXA_COMMON_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace csxa::common {
+
+/// The repo's only sanctioned byte-reinterpret site. char/uint8_t aliasing
+/// is well-defined, but scattered naked reinterpret_casts are exactly how
+/// tainted terminal bytes get laundered past the typestate wall of
+/// common/tainted.h — so tools/csxa_lint.py (check: byte-reinterpret)
+/// forbids them everywhere but here, and these helpers take *sized* views
+/// where the call shape allows, so the length travels with the cast.
+
+/// Byte view of character data (hashing strings, framing ids).
+inline const uint8_t* AsBytes(std::string_view s) {
+  return reinterpret_cast<const uint8_t*>(s.data());
+}
+
+/// Character view of `n` bytes (text extraction from decoded buffers).
+inline std::string_view AsChars(const uint8_t* p, size_t n) {
+  return std::string_view(reinterpret_cast<const char*>(p), n);
+}
+
+}  // namespace csxa::common
+
+#endif  // CSXA_COMMON_BYTES_H_

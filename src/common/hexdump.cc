@@ -1,5 +1,7 @@
 #include "common/hexdump.h"
 
+#include "common/bytes.h"
+
 namespace csxa {
 
 std::string HexEncode(const uint8_t* data, size_t n) {
@@ -18,7 +20,7 @@ std::string HexEncode(const std::vector<uint8_t>& data) {
 }
 
 std::string HexEncode(const std::string& data) {
-  return HexEncode(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+  return HexEncode(common::AsBytes(data), data.size());
 }
 
 }  // namespace csxa

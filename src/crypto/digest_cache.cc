@@ -230,8 +230,8 @@ VerifiedDigestCache::Stats VerifiedDigestCache::stats() const {
   return stats_;
 }
 
-void VerifiedDigestCache::Record(uint64_t chunk, const Sha1Digest& root,
-                                 uint32_t first,
+void VerifiedDigestCache::Record(common::VerifyPass, uint64_t chunk,
+                                 const Sha1Digest& root, uint32_t first,
                                  const std::vector<Sha1Digest>& leaves,
                                  const std::vector<ProofNode>& proof) {
   if (capacity_ == 0) return;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/tainted.h"
 #include "common/thread_annotations.h"
 #include "crypto/merkle.h"
 #include "crypto/sha1.h"
@@ -132,8 +133,13 @@ class VerifiedDigestCache {
   /// hashes that were shipped, and the root the digest confirmed. Interior
   /// nodes derivable from known children are filled in eagerly, so later
   /// ranges need no hashes the cache cannot produce.
-  void Record(uint64_t chunk, const Sha1Digest& root, uint32_t first,
-              const std::vector<Sha1Digest>& leaves,
+  ///
+  /// The common::VerifyPass passkey makes "exclusively after a full
+  /// digest-chain verification" (the cache's entire security argument,
+  /// above) a compile-time fact: only the SoeDecryptor's verification path
+  /// can mint one, so no other code can write this cache.
+  void Record(common::VerifyPass, uint64_t chunk, const Sha1Digest& root,
+              uint32_t first, const std::vector<Sha1Digest>& leaves,
               const std::vector<ProofNode>& proof);
 
   struct Stats {

@@ -149,8 +149,8 @@ Result<RangeResponse> SecureDocumentStore::ReadRange(uint64_t pos,
   uint64_t frag_end = (end + layout_.fragment_size - 1) /
                       layout_.fragment_size * layout_.fragment_size;
   frag_end = std::min(frag_end, size);
-  resp.ciphertext.assign(ciphertext_.begin() + resp.data_begin,
-                         ciphertext_.begin() + frag_end);
+  resp.ciphertext = common::UnverifiedBytes(std::vector<uint8_t>(
+      ciphertext_.begin() + resp.data_begin, ciphertext_.begin() + frag_end));
 
   const uint32_t frags = layout_.fragments_per_chunk();
   uint64_t first_chunk = resp.data_begin / layout_.chunk_size;
@@ -217,8 +217,8 @@ Result<BatchResponse> SecureDocumentStore::ReadBatch(
 
     BatchResponse::Segment seg;
     seg.begin = run.begin;
-    seg.ciphertext.assign(ciphertext_.begin() + run.begin,
-                          ciphertext_.begin() + run.end);
+    seg.ciphertext = common::UnverifiedBytes(std::vector<uint8_t>(
+        ciphertext_.begin() + run.begin, ciphertext_.begin() + run.end));
     resp.segments.push_back(std::move(seg));
 
     uint64_t first_chunk = run.begin / layout_.chunk_size;
@@ -407,7 +407,8 @@ Status SoeDecryptor::VerifyChunkAgainstMaterial(
       return Status::IntegrityError(
           "waived chunk digest does not match cached root (tampered data?)");
     }
-    cache_->Record(chunk, root.value(), mat.first_fragment, leaves, proof);
+    cache_->Record(common::VerifyPass{}, chunk, root.value(),
+                   mat.first_fragment, leaves, proof);
     return Status::OK();
   }
   if (mat.encrypted_digest.size() != DigestCipherBytes(bs)) {
@@ -466,12 +467,16 @@ Status SoeDecryptor::VerifyChunkAgainstMaterial(
   }
   // Everything that entered the (successful) root recomputation is now as
   // authentic as the digest: remember it for bare re-reads.
-  cache_->Record(chunk, root.value(), mat.first_fragment, leaves, mat.proof);
+  cache_->Record(common::VerifyPass{}, chunk, root.value(),
+                 mat.first_fragment, leaves, mat.proof);
   return Status::OK();
 }
 
-Result<std::vector<uint8_t>> SoeDecryptor::DecryptVerified(
+Result<common::VerifiedPlaintext> SoeDecryptor::DecryptVerified(
     const RangeResponse& resp, uint64_t pos, uint64_t n) {
+  // The verification-path read of the tainted response bytes: minting the
+  // pass here is what entitles this function to see them at all.
+  const uint8_t* ct = resp.ciphertext.VerifyData(common::VerifyPass{});
   CSXA_RETURN_NOT_OK(config_error_);
   const uint32_t bs = backend_->block_size();
   const uint64_t padded_size = (plaintext_size_ + bs - 1) / bs * bs;
@@ -539,8 +544,7 @@ Result<std::vector<uint8_t>> SoeDecryptor::DecryptVerified(
         return Status::IntegrityError(
             "fragment range not covered by transferred bytes");
       }
-      hasher.Update(resp.ciphertext.data() + (hash_from - resp.data_begin),
-                    fe - hash_from);
+      hasher.Update(ct + (hash_from - resp.data_begin), fe - hash_from);
       counters_.bytes_hashed += fe - hash_from;
       range_leaves.push_back(hasher.Finish());
     }
@@ -561,16 +565,16 @@ Result<std::vector<uint8_t>> SoeDecryptor::DecryptVerified(
     return Status::IntegrityError("block not covered by response");
   }
   const size_t len = (block_end - block_begin) * bs;
-  std::vector<uint8_t> plain(
-      resp.ciphertext.begin() + (covered_begin - resp.data_begin),
-      resp.ciphertext.begin() + (covered_begin - resp.data_begin) + len);
+  std::vector<uint8_t> plain(ct + (covered_begin - resp.data_begin),
+                             ct + (covered_begin - resp.data_begin) + len);
   const uint64_t d0 = NowNs();
   backend_->DecryptSegment(plain.data(), len, block_begin);
   counters_.decrypt_ns += NowNs() - d0;
   counters_.bytes_decrypted += len;
   std::vector<uint8_t> out(plain.begin() + (pos - covered_begin),
                            plain.begin() + (pos - covered_begin) + n);
-  return out;
+  // Mint site: everything above recombined to the authenticated root.
+  return common::VerifiedPlaintext(common::VerifyPass{}, std::move(out));
 }
 
 Status SoeDecryptor::DecryptVerifiedBatch(const BatchRequest& request,
@@ -613,6 +617,7 @@ Status SoeDecryptor::DecryptVerifiedBatch(const BatchRequest& request,
         (run.end % layout_.fragment_size != 0 && run.end != padded_size)) {
       return Status::IntegrityError("batch segment does not match request");
     }
+    const uint8_t* seg_ct = seg.ciphertext.VerifyData(common::VerifyPass{});
     const uint64_t seg_end = run.end;
     uint64_t first_chunk = run.begin / layout_.chunk_size;
     uint64_t last_chunk = (seg_end - 1) / layout_.chunk_size;
@@ -641,8 +646,7 @@ Status SoeDecryptor::DecryptVerifiedBatch(const BatchRequest& request,
         uint64_t fb = chunk_begin + uint64_t{f} * layout_.fragment_size;
         uint64_t fe =
             std::min<uint64_t>(fb + layout_.fragment_size, chunk_end);
-        leaves.push_back(
-            Sha1::Hash(seg.ciphertext.data() + (fb - run.begin), fe - fb));
+        leaves.push_back(Sha1::Hash(seg_ct + (fb - run.begin), fe - fb));
         counters_.bytes_hashed += fe - fb;
       }
       counters_.hash_ns += NowNs() - h0;
@@ -667,7 +671,8 @@ Status SoeDecryptor::DecryptVerifiedBatch(const BatchRequest& request,
         }
         counters_.hash_combines += proof.size() + leaves.size();
         cache_->RecordBareHit();
-        cache_->Record(c, known_root, first, leaves, proof);
+        cache_->Record(common::VerifyPass{}, c, known_root, first, leaves,
+                       proof);
       } else {
         if (mat_index >= response.chunks.size()) {
           return Status::IntegrityError(
@@ -705,15 +710,16 @@ Status SoeDecryptor::DecryptVerifiedBatch(const BatchRequest& request,
     const uint64_t seg_end = seg.begin + seg.ciphertext.size();
     const uint64_t copy_end = std::min<uint64_t>(seg_end, plaintext_size_);
     if (copy_end <= seg.begin) continue;
+    const uint8_t* seg_ct = seg.ciphertext.VerifyData(common::VerifyPass{});
     const uint64_t whole = (copy_end - seg.begin) / bs * bs;
     if (whole > 0) {
-      std::memcpy(out + seg.begin, seg.ciphertext.data(), whole);
+      std::memcpy(out + seg.begin, seg_ct, whole);
       backend_->DecryptSegment(out + seg.begin, whole, seg.begin / bs);
       counters_.bytes_decrypted += whole;
     }
     if (seg.begin + whole < copy_end) {
       uint8_t scratch[kMaxCipherBlockSize];
-      std::memcpy(scratch, seg.ciphertext.data() + whole, bs);
+      std::memcpy(scratch, seg_ct + whole, bs);
       backend_->DecryptSegment(scratch, bs, seg.begin / bs + whole / bs);
       std::memcpy(out + seg.begin + whole, scratch,
                   copy_end - (seg.begin + whole));

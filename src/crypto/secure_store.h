@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/tainted.h"
 #include "crypto/cipher_backend.h"
 #include "crypto/digest_cache.h"
 #include "crypto/merkle.h"
@@ -49,7 +50,8 @@ inline uint32_t DigestBlocks(uint32_t block_size) {
 /// Merkle-hash-tree protocol of Figure F1.
 struct RangeResponse {
   uint64_t data_begin = 0;  ///< Absolute byte offset of ciphertext[0].
-  std::vector<uint8_t> ciphertext;
+  /// Terminal bytes: typestate-tainted until the Merkle chain vouches.
+  common::UnverifiedBytes ciphertext;
 
   struct ChunkMaterial {
     uint64_t chunk_index = 0;
@@ -119,7 +121,8 @@ struct BatchRequest {
 struct BatchResponse {
   struct Segment {
     uint64_t begin = 0;  ///< Absolute byte offset of ciphertext[0].
-    std::vector<uint8_t> ciphertext;
+    /// Terminal bytes: typestate-tainted until the Merkle chain vouches.
+    common::UnverifiedBytes ciphertext;
   };
   std::vector<Segment> segments;  ///< Parallel to BatchRequest::runs.
   /// Material for non-bare chunks, in ascending (segment, chunk) order.
@@ -247,8 +250,11 @@ class SoeDecryptor {
 
   /// Verifies integrity of `resp` and decrypts exactly the bytes
   /// [pos, pos+n) of the document. Returns IntegrityError on any mismatch.
-  Result<std::vector<uint8_t>> DecryptVerified(const RangeResponse& resp,
-                                               uint64_t pos, uint64_t n);
+  /// The returned VerifiedPlaintext is the typestate witness that the
+  /// bytes recombined to an authenticated Merkle root — the only other way
+  /// to obtain one is the batch path below.
+  Result<common::VerifiedPlaintext> DecryptVerified(const RangeResponse& resp,
+                                                    uint64_t pos, uint64_t n);
 
   /// True when the digest cache holds enough authenticated material to
   /// verify fragments [first, last] of `chunk` without any shipped
@@ -293,6 +299,17 @@ class SoeDecryptor {
   Status DecryptVerifiedBatch(const BatchRequest& request,
                               const BatchResponse& response, uint8_t* out,
                               size_t out_size);
+
+  /// Mints the typestate witness for a buffer that is written exclusively
+  /// by this decryptor's DecryptVerifiedBatch (the SecureFetcher's
+  /// document image: private buffer, every write goes through the batch
+  /// verify-then-decrypt path; validity per range still follows Ensure()).
+  /// Feeding anything tainted here is laundering — tools/csxa_lint.py
+  /// treats VerifiedViewOf as a taint sink (check: taint-dataflow).
+  common::VerifiedPlaintext VerifiedViewOf(const uint8_t* data,
+                                           size_t size) const {
+    return common::VerifiedPlaintext(common::VerifyPass{}, data, size);
+  }
 
   /// Cumulative work counters (fed to the cost model).
   struct Counters {

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.h"
+
 namespace csxa::crypto {
 
 /// SHA-1 digest (20 bytes). Used for chunk digests and Merkle trees
@@ -30,7 +32,7 @@ class Sha1 {
     Update(data.data(), data.size());
   }
   void Update(const std::string& data) {
-    Update(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+    Update(common::AsBytes(data), data.size());
   }
 
   /// Finalizes and returns the digest. The object must be Reset() before
@@ -54,7 +56,7 @@ class Sha1 {
     return Hash(data.data(), data.size());
   }
   static Sha1Digest Hash(const std::string& data) {
-    return Hash(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+    return Hash(common::AsBytes(data), data.size());
   }
   /// Hash of the concatenation of two digests (Merkle interior node).
   static Sha1Digest HashPair(const Sha1Digest& left, const Sha1Digest& right);

@@ -8,13 +8,17 @@ namespace csxa::index {
 
 Result<std::unique_ptr<DocumentNavigator>> DocumentNavigator::Open(
     const EncodedDocument* doc) {
-  return OpenBuffer(doc->bytes.data(), doc->bytes.size(), nullptr);
+  // Owner-side trusted path: the document never crossed the terminal, so
+  // there is nothing to verify and no witness to demand.
+  auto nav = std::unique_ptr<DocumentNavigator>(new DocumentNavigator());
+  CSXA_RETURN_NOT_OK(nav->Init(doc->bytes.data(), doc->bytes.size(), nullptr));
+  return nav;
 }
 
 Result<std::unique_ptr<DocumentNavigator>> DocumentNavigator::OpenBuffer(
-    const uint8_t* data, size_t size, Fetcher* fetcher) {
+    const common::VerifiedPlaintext& doc, Fetcher* fetcher) {
   auto nav = std::unique_ptr<DocumentNavigator>(new DocumentNavigator());
-  CSXA_RETURN_NOT_OK(nav->Init(data, size, fetcher));
+  CSXA_RETURN_NOT_OK(nav->Init(doc.data(), doc.size(), fetcher));
   return nav;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/tainted.h"
 #include "index/encoded_document.h"
 #include "xml/tag_dictionary.h"
 
@@ -92,11 +93,14 @@ class DocumentNavigator {
   static Result<std::unique_ptr<DocumentNavigator>> Open(
       const EncodedDocument* doc);
 
-  /// Opens over a raw buffer whose contents materialize through `fetcher`
-  /// (may be null). The buffer must stay valid and fixed-size; the fetcher
-  /// fills it in place.
+  /// Opens over a verified document image whose contents materialize
+  /// through `fetcher` (may be null). The buffer behind `doc` must stay
+  /// valid and fixed-size; the fetcher fills it in place. Taking a
+  /// common::VerifiedPlaintext (not raw bytes) is the typestate wall: a
+  /// navigator can only ever read bytes the Merkle verification path
+  /// vouched for.
   static Result<std::unique_ptr<DocumentNavigator>> OpenBuffer(
-      const uint8_t* data, size_t size, Fetcher* fetcher);
+      const common::VerifiedPlaintext& doc, Fetcher* fetcher);
 
   /// Advances to the next event.
   Result<Item> Next();

@@ -18,6 +18,7 @@ SecureFetcher::SecureFetcher(const crypto::BatchSource* source,
       planner_(ciphertext_size, layout.fragment_size, layout.chunk_size,
                planner_options),
       buffer_(plaintext_size, 0),
+      view_(soe->VerifiedViewOf(buffer_.data(), buffer_.size())),
       padded_size_(ciphertext_size),
       fragment_valid_(planner_.fragment_count(), false),
       transport_base_(source->transport_stats()) {}

@@ -47,8 +47,11 @@ class SecureFetcher : public Fetcher {
       : SecureFetcher(store, store->layout(), store->plaintext_size(),
                       store->ciphertext().size(), soe, planner_options) {}
 
-  /// Buffer of plaintext_size() bytes; valid only where Ensure() succeeded.
-  const uint8_t* data() const { return buffer_.data(); }
+  /// Verified view of the plaintext_size()-byte document image; valid only
+  /// where Ensure() succeeded. The image is written exclusively by
+  /// DecryptVerifiedBatch (the mint site), which is what entitles the
+  /// fetcher to hold a standing common::VerifiedPlaintext over it.
+  const common::VerifiedPlaintext& verified_view() const { return view_; }
   size_t size() const { return buffer_.size(); }
 
   Status Ensure(uint64_t begin, uint64_t end) override;
@@ -107,6 +110,9 @@ class SecureFetcher : public Fetcher {
   uint32_t chunk_size_;
   FetchPlanner planner_;
   std::vector<uint8_t> buffer_;
+  /// Standing witness over buffer_ (declared after it: minted from its
+  /// final, never-reallocated storage).
+  common::VerifiedPlaintext view_;
   uint64_t padded_size_;
   std::vector<bool> fragment_valid_;
   uint64_t wire_bytes_ = 0;

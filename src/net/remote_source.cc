@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "common/bytes.h"
 #include "common/clock.h"
 #include "crypto/wire_format.h"
 
@@ -69,10 +70,9 @@ Result<int> RemoteBatchSource::DialAndBind() const {
   // bound its own blocking read: a link that stalls inside the handshake
   // is as dead as one that refuses the connection.
   if (options_.deadline_ns != 0) SetRecvTimeoutNs(fd, options_.deadline_ns);
-  Status st = WriteRecord(
-      fd, RecordKind::kBind, /*id=*/0,
-      reinterpret_cast<const uint8_t*>(options_.doc_id.data()),
-      options_.doc_id.size());
+  Status st =
+      WriteRecord(fd, RecordKind::kBind, /*id=*/0,
+                  common::AsBytes(options_.doc_id), options_.doc_id.size());
   if (!st.ok()) {
     CloseFd(fd);
     return st;

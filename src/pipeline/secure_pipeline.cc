@@ -32,8 +32,7 @@ Result<std::unique_ptr<ServeStream>> ServeStream::Open(
                       chunk_count, key, version, options, backend));
   CSXA_ASSIGN_OR_RETURN(
       stream->nav_,
-      index::DocumentNavigator::OpenBuffer(stream->fetcher_.data(),
-                                           stream->fetcher_.size(),
+      index::DocumentNavigator::OpenBuffer(stream->fetcher_.verified_view(),
                                            &stream->fetcher_));
   access::RuleEvaluator::Options eval_options;
   eval_options.pending_buffer_budget = options.pending_buffer_budget;

@@ -1,5 +1,7 @@
 #include "xml/tag_dictionary.h"
 
+#include "common/bytes.h"
+
 namespace csxa::xml {
 
 TagId TagDictionary::Intern(const std::string& tag) {
@@ -63,7 +65,7 @@ Result<TagDictionary> TagDictionary::Deserialize(const uint8_t* data,
     if (!GetU32(data, size, &pos, &len) || pos + len > size) {
       return Status::Corruption("tag dictionary: truncated entry");
     }
-    dict.Intern(std::string(reinterpret_cast<const char*>(data + pos), len));
+    dict.Intern(std::string(common::AsChars(data + pos, len)));
     pos += len;
   }
   if (consumed != nullptr) *consumed = pos;

@@ -261,7 +261,7 @@ TEST(CipherBackendsRoundTripStore) {
         if (!plain.ok()) continue;
         std::vector<uint8_t> expect(doc.begin() + pos,
                                     doc.begin() + pos + n);
-        CHECK(plain.value() == expect);
+        CHECK(plain.value().ToVector() == expect);
       }
 
       // Whole-document batched fetch: one run, one whole-segment decrypt.
@@ -398,7 +398,7 @@ TEST(SecureStoreRoundTrip) {
     CHECK_OK(plain.status());
     if (!plain.ok()) continue;
     std::vector<uint8_t> expect(doc.begin() + pos, doc.begin() + pos + n);
-    CHECK(plain.value() == expect);
+    CHECK(plain.value().ToVector() == expect);
   }
 }
 
@@ -437,7 +437,8 @@ TEST(RangeNarrowingAttackDetected) {
 
   RangeResponse attack = narrow.value();
   attack.ciphertext = wide.value().ciphertext;
-  attack.ciphertext[100] ^= 0x01;  // tamper inside the unclaimed fragment 3
+  // csxa-lint: allow(taint-release) test tampers pre-verification ciphertext
+  attack.ciphertext.ReleaseUnverified()[100] ^= 0x01;  // unclaimed fragment 3
 
   SoeDecryptor soe(key, layout, store.value().plaintext_size(),
                    store.value().chunk_count());

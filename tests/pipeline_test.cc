@@ -123,8 +123,8 @@ TEST(SkippedSubtreesAreNeverFetched) {
   crypto::SoeDecryptor soe(TestKey(), layout, store.value().plaintext_size(),
                            store.value().chunk_count());
   index::SecureFetcher fetcher(&store.value(), &soe);
-  auto nav = index::DocumentNavigator::OpenBuffer(fetcher.data(),
-                                                  fetcher.size(), &fetcher);
+  auto nav =
+      index::DocumentNavigator::OpenBuffer(fetcher.verified_view(), &fetcher);
   CHECK_OK(nav.status());
   if (!nav.ok()) return;
 

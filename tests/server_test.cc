@@ -325,16 +325,32 @@ TEST(StaleCacheNeverVouchesForBumpedContent) {
   crypto::ChunkLayout layout;
   layout.chunk_size = 64;
   layout.fragment_size = 8;
+  std::vector<uint8_t> doc(200);
+  for (size_t i = 0; i < doc.size(); ++i) doc[i] = static_cast<uint8_t>(i);
+  auto store = crypto::SecureDocumentStore::Build(doc, TestKey(), layout,
+                                                  /*version=*/0);
+  CHECK_OK(store.status());
   auto stale_cache = std::make_shared<crypto::VerifiedDigestCache>(
       layout.fragments_per_chunk(), 8, /*version=*/0);
-  crypto::SoeDecryptor soe(TestKey(), layout, /*plaintext_size=*/200,
-                           /*chunk_count=*/4, /*expected_version=*/1,
-                           /*digest_cache_capacity=*/8, stale_cache);
-  // The decryptor's cache is private: recording into the stale shared
-  // instance must not make ranges bare-verifiable for this serve.
-  std::vector<crypto::Sha1Digest> leaves(8);
-  stale_cache->Record(0, crypto::Sha1Digest{}, 0, leaves, {});
+  {
+    // Populate the shared cache the only way the typestate wall permits:
+    // through a real version-0 verification (Record() is passkey-gated to
+    // the decryptor's verification path, so a test cannot forge entries).
+    crypto::SoeDecryptor v0(TestKey(), layout, store.value().plaintext_size(),
+                            store.value().chunk_count(),
+                            /*expected_version=*/0,
+                            /*digest_cache_capacity=*/8, stale_cache);
+    auto resp = store.value().ReadRange(0, 64);
+    CHECK_OK(resp.status());
+    CHECK_OK(v0.DecryptVerified(resp.value(), 0, 64).status());
+  }
   CHECK(stale_cache->CanVerifyBare(0, 0, 7));
+  // The version-1 decryptor's cache stays private: the stale shared
+  // instance must not make ranges bare-verifiable for this serve.
+  crypto::SoeDecryptor soe(TestKey(), layout, store.value().plaintext_size(),
+                           store.value().chunk_count(),
+                           /*expected_version=*/1,
+                           /*digest_cache_capacity=*/8, stale_cache);
   CHECK(!soe.CanVerifyBare(0, 0, 7));
 }
 

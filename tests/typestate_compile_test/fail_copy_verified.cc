@@ -1,0 +1,9 @@
+// Laundering attempt: duplicate a verification witness. VerifiedPlaintext
+// is move-only — a copy would be a second witness nobody verified.
+#include "common/tainted.h"
+
+csxa::common::VerifiedPlaintext Attack(
+    const csxa::common::VerifiedPlaintext& v) {
+  csxa::common::VerifiedPlaintext copy = v;
+  return copy;
+}

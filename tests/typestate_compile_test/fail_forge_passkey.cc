@@ -1,0 +1,6 @@
+// Laundering attempt: forge the passkey outside the SoeDecryptor friend.
+// VerifyPass's constructor is private; only the Merkle verification path
+// can mint one.
+#include "common/tainted.h"
+
+csxa::common::VerifyPass Attack() { return csxa::common::VerifyPass{}; }

@@ -1,0 +1,11 @@
+// Laundering attempt: slip a plain byte vector across the taint boundary
+// implicitly. The UnverifiedBytes constructor is explicit: marking bytes
+// as terminal-sourced must be a visible, greppable act.
+#include <cstdint>
+#include <vector>
+
+#include "common/tainted.h"
+
+csxa::common::UnverifiedBytes Attack(std::vector<uint8_t> bytes) {
+  return bytes;
+}

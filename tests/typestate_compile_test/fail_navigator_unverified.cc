@@ -1,0 +1,9 @@
+// Laundering attempt: feed raw terminal bytes straight to the navigator.
+// The pre-typestate OpenBuffer(data, size, fetcher) overload no longer
+// exists — a navigator only accepts a common::VerifiedPlaintext witness.
+#include "index/decoder.h"
+
+csxa::Status Attack(const csxa::common::UnverifiedBytes& tainted) {
+  auto nav = csxa::index::DocumentNavigator::OpenBuffer(tainted, nullptr);
+  return nav.status();
+}

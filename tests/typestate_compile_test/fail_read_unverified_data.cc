@@ -1,0 +1,10 @@
+// Laundering attempt: read the raw bytes out of an UnverifiedBytes. The
+// wrapper deliberately has no data()/iterators/operator[]; raw access is
+// VerifyData() (passkey-gated) or the linted ReleaseUnverified() escape.
+#include <cstdint>
+
+#include "common/tainted.h"
+
+const uint8_t* Attack(const csxa::common::UnverifiedBytes& tainted) {
+  return tainted.data();
+}

@@ -1,0 +1,12 @@
+// Laundering attempt: write unauthenticated Merkle material into the
+// verified-digest cache. Record() demands a VerifyPass the caller cannot
+// mint, so cache poisoning (the PR 6 bug class) cannot even compile.
+#include <vector>
+
+#include "crypto/digest_cache.h"
+
+void Attack(csxa::crypto::VerifiedDigestCache* cache) {
+  std::vector<csxa::crypto::Sha1Digest> leaves(8);
+  cache->Record(/*chunk=*/0, csxa::crypto::Sha1Digest{}, /*first=*/0, leaves,
+                {});
+}

@@ -1,0 +1,14 @@
+// Legitimate escape hatch: ReleaseUnverified() hands back the raw vector
+// for framing/fault-injection code. (In the real tree every call site
+// carries a csxa-lint waiver; this suite is exempt from the linter.)
+#include <cstdint>
+#include <vector>
+
+#include "common/tainted.h"
+
+uint8_t Tamper(csxa::common::UnverifiedBytes* tainted) {
+  std::vector<uint8_t>& raw = tainted->ReleaseUnverified();
+  if (raw.empty()) return 0;
+  raw[0] ^= 0x01;
+  return raw[0];
+}

@@ -1,0 +1,40 @@
+// Legitimate flows: everything the typestate wall must keep compiling.
+// Builds with -Wall -Wextra -Werror.
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/tainted.h"
+#include "crypto/secure_store.h"
+#include "index/decoder.h"
+
+namespace {
+
+// Honest pre-verification uses: sizes for framing, copying tainted bytes
+// around as tainted bytes.
+uint64_t FrameSize(const csxa::common::UnverifiedBytes& tainted) {
+  csxa::common::UnverifiedBytes still_tainted = tainted;  // copy is fine
+  return still_tainted.size() + (tainted.empty() ? 0 : 1);
+}
+
+// The verification path returns witnesses; consumers may move and read
+// them freely.
+csxa::Status VerifyAndOpen(csxa::crypto::SoeDecryptor* soe,
+                           const csxa::crypto::RangeResponse& resp,
+                           std::vector<uint8_t>* out) {
+  auto plain = soe->DecryptVerified(resp, 0, 64);
+  if (!plain.ok()) return plain.status();
+  csxa::common::VerifiedPlaintext moved = std::move(plain.value());
+  *out = moved.ToVector();
+  auto nav = csxa::index::DocumentNavigator::OpenBuffer(moved, nullptr);
+  return nav.status();
+}
+
+}  // namespace
+
+csxa::Status Probe(csxa::crypto::SoeDecryptor* soe,
+                   const csxa::crypto::RangeResponse& resp,
+                   std::vector<uint8_t>* out) {
+  if (FrameSize(resp.ciphertext) == 0) return csxa::Status::OK();
+  return VerifyAndOpen(soe, resp, out);
+}

@@ -282,17 +282,20 @@ TEST(ResponseSemanticTampering) {
        [](crypto::BatchResponse* r) { r->segments[0].begin += 64; }},
       {"segment truncated",
        [](crypto::BatchResponse* r) {
-         r->segments[0].ciphertext.resize(r->segments[0].ciphertext.size() -
-                                          8);
+         // csxa-lint: allow(taint-release) fuzz tampers pre-verification bytes
+         auto& ct = r->segments[0].ciphertext.ReleaseUnverified();
+         ct.resize(ct.size() - 8);
        }},
       {"segment padded",
        [](crypto::BatchResponse* r) {
-         r->segments[0].ciphertext.resize(r->segments[0].ciphertext.size() +
-                                          8);
+         // csxa-lint: allow(taint-release) fuzz tampers pre-verification bytes
+         auto& ct = r->segments[0].ciphertext.ReleaseUnverified();
+         ct.resize(ct.size() + 8);
        }},
       {"segment ciphertext block swapped",
        [](crypto::BatchResponse* r) {
-         auto& ct = r->segments[0].ciphertext;
+         // csxa-lint: allow(taint-release) fuzz tampers pre-verification bytes
+         auto& ct = r->segments[0].ciphertext.ReleaseUnverified();
          for (int i = 0; i < 8; ++i) std::swap(ct[i], ct[8 + i]);
        }},
       {"material dropped",
@@ -355,7 +358,10 @@ TEST(ResponseSemanticTampering) {
       // it must never hand that null to memcpy (the PR 7 UBSan class; the
       // sanitizer CI job runs this file).
       {"segment ciphertext emptied",
-       [](crypto::BatchResponse* r) { r->segments[0].ciphertext.clear(); }},
+       [](crypto::BatchResponse* r) {
+         // csxa-lint: allow(taint-release) fuzz tampers pre-verification bytes
+         r->segments[0].ciphertext.ReleaseUnverified().clear();
+       }},
       {"segment list emptied",
        [](crypto::BatchResponse* r) { r->segments.clear(); }},
       {"digest emptied",

@@ -71,6 +71,7 @@
 #include "access/access_rule.h"
 #include "bench/corpus.h"
 #include "bench/load_harness.h"
+#include "common/bytes.h"
 #include "common/clock.h"
 #include "access/rule_evaluator.h"
 #include "common/status.h"
@@ -283,8 +284,8 @@ Result<VariantRun> RunNc(const std::string& xml,
   index::SecureFetcher fetcher(&store, &soe);
   const uint64_t t0 = NowNs();
   CSXA_RETURN_NOT_OK(fetcher.Ensure(0, fetcher.size()));
-  std::string plain(reinterpret_cast<const char*>(fetcher.data()),
-                    fetcher.size());
+  std::string plain(
+      common::AsChars(fetcher.verified_view().data(), fetcher.size()));
   xml::SerializingHandler ser;
   access::RuleEvaluator eval(rules, &ser);
   CSXA_RETURN_NOT_OK(xml::SaxParser::Parse(plain, &eval));
@@ -1054,8 +1055,8 @@ bool RunLatencySweep(std::string* json, int folders,
                                    planner);
       const uint64_t t0 = NowNs();
       CSXA_RETURN_NOT_OK(fetcher.Ensure(0, fetcher.size()));
-      std::string plain(reinterpret_cast<const char*>(fetcher.data()),
-                        fetcher.size());
+      std::string plain(
+          common::AsChars(fetcher.verified_view().data(), fetcher.size()));
       xml::SerializingHandler ser;
       access::RuleEvaluator eval(rules, &ser);
       CSXA_RETURN_NOT_OK(xml::SaxParser::Parse(plain, &eval));

@@ -33,12 +33,40 @@ time instead of rediscovered as runtime flakes:
       clang Thread Safety Analysis, so whatever it guards silently drops
       out of the compile-time locking contract.
 
+  taint-release
+      Every UnverifiedBytes::ReleaseUnverified() call site — the single
+      typestate escape hatch of src/common/tainted.h — must carry a
+      written justification waiver. A naked escape is a finding: the
+      allowlist of pre-verification byte uses is reviewed, not implied.
+
+  byte-reinterpret
+      No naked reinterpret_cast to byte/char pointers outside
+      src/common/bytes.h (common::AsBytes / common::AsChars). Scattered
+      byte reinterprets are exactly how tainted terminal bytes get
+      laundered past the typestate wall without tripping the type system.
+
+  taint-dataflow
+      Intraprocedural source→sink tracking of the verify-before-trust
+      invariant. Sources: BatchSource reads (ReadBatch/ReadRange), wire
+      decodes (DecodeBatchResponse) and ReleaseUnverified() escapes.
+      Sinks: navigator feeds (OpenBuffer), witness minting
+      (VerifiedViewOf) and digest-cache writes (Record). Any path from a
+      source to a sink that does not pass a verification mint site
+      (DecryptVerified / DecryptVerifiedBatch / VerifyChunkAgainstMaterial
+      / VerifyData) — including laundering through assignments, copies,
+      raw pointers or memcpy — is a finding. The PR 1 range-narrowing
+      decrypt and PR 6 cache-poisoning bugs were both instances of this
+      pattern, found dynamically; this pins the class statically.
+
 Engines: a libclang AST engine (preferred when the clang python bindings
 are importable — CI installs them) and a token-level text engine that is
 always available; `--engine auto` uses libclang per file and falls back
 to the text engine wherever parsing is unavailable, so the gate never
-depends on the host having clang. Both engines are validated against the
-fixture tree in tools/lint_fixtures by `--self-test`.
+depends on the host having clang (pass --strict to make any fallback a
+hard error — what CI runs, so the AST checks can never silently vanish).
+Both engines share the statement-level dataflow core; libclang
+contributes AST-accurate function extents. Both are validated against
+the fixture tree in tools/lint_fixtures by `--self-test`.
 
 A site may waive one check with a justification comment on its own line
 or the line above:
@@ -111,11 +139,19 @@ MESSAGE_DIRS = ("src",)
 MEMCPY_DIRS = ("src", "tools")
 MUTEX_DIRS = ("src", "tools")
 MUTEX_EXEMPT = "src/common/thread_annotations.h"
+TAINT_DIRS = ("src", "tools", "tests")
+# The wrapper's own definition and the one sanctioned cast site.
+TAINT_EXEMPT = "src/common/tainted.h"
+BYTES_EXEMPT = "src/common/bytes.h"
 
-WAIVER_RE = re.compile(r"csxa-lint:\s*allow\(([a-z-]+)\)\s*(\S.*)?")
+# The reason must sit on the waiver's own line ([^\S\n]: spaces but not
+# the newline) — otherwise the next code line would masquerade as one.
+WAIVER_RE = re.compile(
+    r"csxa-lint:\s*allow\(([a-z-]+)\)[^\S\n]*(\S[^\n]*)?")
 
 CHECKS = ("error-taxonomy", "duplicate-integrity-message",
-          "unguarded-memcpy", "naked-mutex")
+          "unguarded-memcpy", "naked-mutex", "taint-release",
+          "byte-reinterpret", "taint-dataflow")
 
 
 class Finding:
@@ -328,12 +364,18 @@ class TextEngine:
                             findings)
 
     def memcpy(self, path, rel, text, stripped, waivers, findings):
+        if not rel.startswith(tuple(d + "/" for d in MEMCPY_DIRS)):
+            return
         lines = stripped.split("\n")
         for m in MEM_CALL_RE.finditer(stripped):
             open_paren = stripped.index("(", m.start())
             args, _ = extract_call(stripped, open_paren)
             line = line_of(stripped, m.start())
             _judge_memcpy(path, line, args, lines, waivers, findings)
+
+    def dataflow(self, path, rel, text, stripped, waivers, findings):
+        regions = [(a, b) for a, b, _ in enclosing_functions(stripped)]
+        _dataflow_file(path, rel, stripped, waivers, findings, regions)
 
 
 def _allowlist_for(rel):
@@ -386,6 +428,132 @@ def _judge_memcpy(path, line, args, lines, waivers, findings):
         "raw mem* on container .data() with a runtime size and no size "
         "guard in the enclosing statement (zero-length spans hand mem* a "
         "null/one-past-end pointer: UB)"))
+
+
+# --------------------------------------------------------------------------
+# Taint dataflow core (shared by both engines)
+# --------------------------------------------------------------------------
+
+SOURCE_CALL_RE = re.compile(
+    r"\b(?:ReadBatch|ReadRange|DecodeBatchResponse)\s*\(|"
+    r"(?:\.|->)\s*ReleaseUnverified\s*\(")
+MINT_CALL_RE = re.compile(
+    r"\b(?:DecryptVerifiedBatch|DecryptVerified|VerifyChunkAgainstMaterial|"
+    r"VerifyData)\s*\(")
+SINK_CALL_RE = re.compile(
+    r"\bOpenBuffer\s*\(|\bVerifiedViewOf\s*\(|(?:->|\.)\s*Record\s*\(")
+ASSIGN_OR_RETURN_RE = re.compile(r"\bCSXA_ASSIGN_OR_RETURN\s*\(")
+MEMCPY_PROP_RE = re.compile(r"\b(?:std::)?mem(?:cpy|move)\s*\(")
+_LAST_IDENT_RE = re.compile(r"([A-Za-z_]\w*)\s*$")
+
+
+def _statements(stripped, begin, end):
+    """Yields (offset, text) statement slices of stripped[begin:end], split
+    on ';' and braces. Nested-block statements are included — the scan is
+    per enclosing function, flow-insensitively over its whole body."""
+    start = begin
+    for i in range(begin, end):
+        if stripped[i] in ";{}":
+            yield start, stripped[start:i]
+            start = i + 1
+    yield start, stripped[start:end]
+
+
+def _find_top_assign(stmt):
+    """Offset of a top-level simple '=' (not ==/!=/<=/>= or inside parens),
+    or None."""
+    depth = 0
+    for i, ch in enumerate(stmt):
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+        elif ch == "=" and depth == 0:
+            if i > 0 and stmt[i - 1] in "=!<>+-*/|&^%":
+                continue
+            if i + 1 < len(stmt) and stmt[i + 1] == "=":
+                continue
+            return i
+    return None
+
+
+def _scan_taint_region(path, stripped, begin, end, waivers, findings, seen):
+    """Flow-insensitive forward taint scan of one function region.
+
+    An identifier becomes tainted when a source call's result reaches it
+    (assignment, declaration-init, CSXA_ASSIGN_OR_RETURN, memcpy/memmove
+    destination — the laundering moves); a statement that invokes a sink
+    while any tainted identifier (or a source call itself) appears in it,
+    without passing a verification mint site, is a finding."""
+    tainted = set()
+
+    def has_taint(fragment):
+        if SOURCE_CALL_RE.search(fragment):
+            return True
+        return any(re.search(r"\b%s\b" % re.escape(t), fragment)
+                   for t in tainted)
+
+    for off, stmt in _statements(stripped, begin, end):
+        if MINT_CALL_RE.search(stmt):
+            continue  # Verification path: its reads are the point.
+        sink = SINK_CALL_RE.search(stmt)
+        if sink and has_taint(stmt):
+            line = line_of(stripped, off + sink.start())
+            if (path, line) not in seen:
+                seen.add((path, line))
+                if not waived(waivers, line, "taint-dataflow", findings,
+                              path):
+                    findings.append(Finding(
+                        path, line, "taint-dataflow",
+                        "unverified bytes reach a trust sink without "
+                        "passing a verification mint site "
+                        "(DecryptVerified*/VerifyChunkAgainstMaterial)"))
+        m = ASSIGN_OR_RETURN_RE.search(stmt)
+        if m:
+            args, _ = extract_call(stmt, stmt.index("(", m.start()))
+            parts = split_top_level_args(args)
+            if len(parts) >= 2 and has_taint(",".join(parts[1:])):
+                lm = _LAST_IDENT_RE.search(parts[0])
+                if lm:
+                    tainted.add(lm.group(1))
+            continue
+        m = MEMCPY_PROP_RE.search(stmt)
+        if m:
+            args, _ = extract_call(stmt, stmt.index("(", m.start()))
+            parts = split_top_level_args(args)
+            if len(parts) >= 2 and has_taint(",".join(parts[1:])):
+                dm = re.search(r"[A-Za-z_]\w*", parts[0])
+                if dm:
+                    tainted.add(dm.group(0))
+            continue
+        eq = _find_top_assign(stmt)
+        if eq is not None:
+            lhs, rhs = stmt[:eq], stmt[eq + 1:]
+            if has_taint(rhs):
+                lm = _LAST_IDENT_RE.search(lhs.rstrip(" \t&*"))
+                if lm:
+                    tainted.add(lm.group(1))
+            continue
+        # Declaration-init without '=': `Type name(tainted...)`. Requires a
+        # type-ish token right before the name so plain calls don't taint
+        # their callee.
+        dm = re.search(r"([\w>\]])\s+([A-Za-z_]\w*)\s*\(", stmt)
+        if dm:
+            prev = re.search(r"([A-Za-z_]\w*)$", stmt[:dm.start() + 1])
+            if prev and prev.group(1) not in _CONTROL_KEYWORDS:
+                args, _ = extract_call(stmt, stmt.index("(", dm.end() - 1))
+                if has_taint(args):
+                    tainted.add(dm.group(2))
+
+
+def _dataflow_file(path, rel, stripped, waivers, findings, regions):
+    """Runs the taint scan over every function region (offset pairs)."""
+    if not rel.startswith(tuple(d + "/" for d in TAINT_DIRS)):
+        return
+    seen = set()
+    for begin, end in regions:
+        _scan_taint_region(path, stripped, begin, end, waivers, findings,
+                           seen)
 
 
 # --------------------------------------------------------------------------
@@ -466,6 +634,8 @@ class LibclangEngine:
                             allowed, waivers, findings)
 
     def memcpy(self, path, rel, text, stripped, waivers, findings):
+        if not rel.startswith(tuple(d + "/" for d in MEMCPY_DIRS)):
+            return
         kinds = self._cindex.CursorKind
         lines = stripped.split("\n")
         tu = self._parse(path)
@@ -487,6 +657,22 @@ class LibclangEngine:
                 continue
             _judge_memcpy(path, loc.line, args[paren + 1:-1], lines, waivers,
                           findings)
+
+    def dataflow(self, path, rel, text, stripped, waivers, findings):
+        if not rel.startswith(tuple(d + "/" for d in TAINT_DIRS)):
+            return
+        tu = self._parse(path)
+        line_starts = [0]
+        for i, ch in enumerate(stripped):
+            if ch == "\n":
+                line_starts.append(i + 1)
+        regions = []
+        for start_line, end_line, _ in self._function_extents(tu, path):
+            begin = line_starts[min(start_line - 1, len(line_starts) - 1)]
+            end = (line_starts[end_line] if end_line < len(line_starts)
+                   else len(stripped))
+            regions.append((begin, end))
+        _dataflow_file(path, rel, stripped, waivers, findings, regions)
 
 
 def _offset_of(text, line, column):
@@ -549,6 +735,46 @@ def check_naked_mutex(files, findings):
                 % m.group(1)))
 
 
+RELEASE_CALL_RE = re.compile(r"(?:\.|->)\s*ReleaseUnverified\s*\(")
+BYTE_REINTERPRET_RE = re.compile(
+    r"reinterpret_cast\s*<\s*(?:const\s+)?"
+    r"(?:unsigned\s+char|std::uint8_t|uint8_t|char)\s*\*\s*>")
+
+
+def check_taint_release(files, findings):
+    for path, rel, text, stripped, waivers in files:
+        if not rel.startswith(tuple(d + "/" for d in TAINT_DIRS)):
+            continue
+        if rel == TAINT_EXEMPT:
+            continue
+        for m in RELEASE_CALL_RE.finditer(stripped):
+            line = line_of(stripped, m.start())
+            if waived(waivers, line, "taint-release", findings, path):
+                continue
+            findings.append(Finding(
+                path, line, "taint-release",
+                "ReleaseUnverified() without a justification — the typestate "
+                "escape hatch requires // csxa-lint: allow(taint-release) "
+                "<reason>"))
+
+
+def check_byte_reinterpret(files, findings):
+    for path, rel, text, stripped, waivers in files:
+        if not rel.startswith(tuple(d + "/" for d in TAINT_DIRS)):
+            continue
+        if rel == BYTES_EXEMPT:
+            continue
+        for m in BYTE_REINTERPRET_RE.finditer(stripped):
+            line = line_of(stripped, m.start())
+            if waived(waivers, line, "byte-reinterpret", findings, path):
+                continue
+            findings.append(Finding(
+                path, line, "byte-reinterpret",
+                "naked byte reinterpret_cast outside common/bytes.h — use "
+                "common::AsBytes()/AsChars() so the length travels with the "
+                "cast"))
+
+
 # --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
@@ -556,7 +782,8 @@ def check_naked_mutex(files, findings):
 def collect_files(root):
     files = []
     dirs = sorted({d.split("/")[0] for d in
-                   TAXONOMY_DIRS + MESSAGE_DIRS + MEMCPY_DIRS + MUTEX_DIRS})
+                   TAXONOMY_DIRS + MESSAGE_DIRS + MEMCPY_DIRS + MUTEX_DIRS +
+                   TAINT_DIRS})
     for top in dirs:
         for dirpath, _, names in os.walk(os.path.join(root, top)):
             for name in sorted(names):
@@ -565,8 +792,11 @@ def collect_files(root):
                 path = os.path.join(dirpath, name)
                 rel = os.path.relpath(path, root).replace(os.sep, "/")
                 # The fixture tree is deliberate violations for --self-test;
-                # scanning it in the real lint would defeat its purpose.
-                if rel.startswith("tools/lint_fixtures/"):
+                # scanning it in the real lint would defeat its purpose. The
+                # negative-compile matrix is likewise deliberate laundering
+                # that must not even compile.
+                if rel.startswith(("tools/lint_fixtures/",
+                                   "tests/typestate_compile_test/")):
                     continue
                 with open(path, encoding="utf-8") as f:
                     text = f.read()
@@ -587,9 +817,12 @@ def make_engine(kind, root):
     return TextEngine()
 
 
-def run_lint(root, engine_kind):
+def run_lint(root, engine_kind, strict=False):
     files = collect_files(root)
     engine = make_engine(engine_kind, root)
+    if strict and engine.name != "libclang":
+        raise SystemExit("csxa_lint: --strict requires the libclang engine "
+                         "(python3-clang); refusing to run text-only")
     text_engine = TextEngine()
     findings = []
     for path, rel, text, stripped, waivers in files:
@@ -597,13 +830,24 @@ def run_lint(root, engine_kind):
         try:
             eng.taxonomy(path, rel, text, stripped, waivers, findings)
             eng.memcpy(path, rel, text, stripped, waivers, findings)
-        except Exception:  # AST engine choked on this file: text fallback.
+            eng.dataflow(path, rel, text, stripped, waivers, findings)
+        except SystemExit:
+            raise
+        except Exception as e:  # AST engine choked on this file.
             if eng is text_engine:
                 raise
+            if strict:
+                # The silent per-file fallback is exactly the hole --strict
+                # closes: CI must never quietly lose the AST checks.
+                raise SystemExit("csxa_lint: libclang failed on %s under "
+                                 "--strict: %s" % (path, e))
             text_engine.taxonomy(path, rel, text, stripped, waivers, findings)
             text_engine.memcpy(path, rel, text, stripped, waivers, findings)
+            text_engine.dataflow(path, rel, text, stripped, waivers, findings)
     check_integrity_messages(files, findings)
     check_naked_mutex(files, findings)
+    check_taint_release(files, findings)
+    check_byte_reinterpret(files, findings)
     return findings, engine.name
 
 
@@ -626,6 +870,12 @@ EXPECTED_FIXTURE_FINDINGS = {
     ("src/server/document_service.cc", 22, "unguarded-memcpy"),
     ("src/net/transport.cc", 10, "error-taxonomy"),
     ("src/net/transport.cc", 15, "error-taxonomy"),
+    ("src/taint/laundering.cc", 37, "taint-dataflow"),
+    ("src/taint/laundering.cc", 48, "taint-dataflow"),
+    ("src/taint/laundering.cc", 56, "taint-dataflow"),
+    ("src/taint/laundering.cc", 61, "taint-release"),
+    ("src/taint/laundering.cc", 67, "taint-release"),
+    ("src/taint/laundering.cc", 72, "byte-reinterpret"),
 }
 
 
@@ -668,6 +918,10 @@ def main():
     ap.add_argument("--self-test", action="store_true",
                     help="lint the committed fixture tree and assert every "
                          "seeded violation is caught")
+    ap.add_argument("--strict", action="store_true",
+                    help="fail (instead of falling back to the text engine) "
+                         "when libclang is unavailable or cannot parse a "
+                         "file — what CI runs")
     args = ap.parse_args()
 
     if args.self_test:
@@ -675,7 +929,7 @@ def main():
                                     "lint_fixtures")
         sys.exit(0 if self_test(fixture_root) else 1)
 
-    findings, engine = run_lint(args.root, args.engine)
+    findings, engine = run_lint(args.root, args.engine, strict=args.strict)
     for f in sorted(findings, key=lambda f: (f.path, f.line)):
         print(f)
     if findings:
